@@ -1,0 +1,180 @@
+// Figure 11 reproduction (quantitative substitute for the paper's
+// screenshots): visual fidelity of (a) the original models, (b) REVIEW
+// with 200 m query boxes, and (c) VISUAL with eta = 0.001, scored by the
+// DoV-weighted fidelity metric (coverage / detail / combined; see
+// walkthrough/fidelity.h). Expected shape: REVIEW loses far visible
+// objects (coverage < 1); VISUAL keeps full coverage with only a mild
+// detail loss even at eta = 0.001.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hdov/builder.h"
+#include "walkthrough/fidelity.h"
+#include "walkthrough/review_system.h"
+#include "walkthrough/visual_system.h"
+
+namespace hdov::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 11: visual fidelity comparison", "Figure 11");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  PrintTestbedSummary(bed);
+
+  VisualOptions vopt = DefaultVisualOptions();
+  vopt.eta = 0.001;
+  Result<std::unique_ptr<VisualSystem>> visual =
+      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+  ReviewOptions ropt;
+  ropt.query_box_size = 200.0;
+  ropt.cache_distance = 300.0;
+  Result<std::unique_ptr<ReviewSystem>> review =
+      ReviewSystem::Create(&bed.scene, ropt);
+  if (!visual.ok() || !review.ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  FidelityEvaluator eval(&bed.scene, &(*visual)->tree());
+
+  FidelityScore original;
+  FidelityScore review_score;
+  FidelityScore visual_score;
+  uint64_t review_tris = 0;
+  uint64_t visual_tris = 0;
+  uint64_t original_tris = 0;
+  const uint32_t n = bed.grid.num_cells();
+  for (CellId c = 0; c < n; ++c) {
+    const Vec3 p = bed.grid.CellCenter(c);
+    const Viewpoint vp{p, Vec3(1, 0, 0)};
+    const CellVisibility& truth = bed.table.cell(c);
+
+    FidelityScore o = eval.OriginalScore(truth);
+    original.coverage += o.coverage;
+    original.detail += o.detail;
+    original.combined += o.combined;
+    for (size_t i = 0; i < truth.ids.size(); ++i) {
+      original_tris +=
+          bed.scene.object(truth.ids[i]).lods.finest().triangle_count;
+    }
+
+    FrameResult frame;
+    (*review)->ResetRuntime();
+    if (!(*review)->RenderFrame(vp, &frame).ok()) {
+      return 1;
+    }
+    FidelityScore r = eval.Evaluate(truth, (*review)->last_result());
+    review_score.coverage += r.coverage;
+    review_score.detail += r.detail;
+    review_score.combined += r.combined;
+    review_tris += frame.rendered_triangles;
+
+    (*visual)->ResetRuntime();
+    if (!(*visual)->RenderFrame(vp, &frame).ok()) {
+      return 1;
+    }
+    FidelityScore v = eval.Evaluate(truth, (*visual)->last_result());
+    visual_score.coverage += v.coverage;
+    visual_score.detail += v.detail;
+    visual_score.combined += v.combined;
+    visual_tris += frame.rendered_triangles;
+  }
+
+  auto print_row = [&](const char* label, const FidelityScore& s,
+                       uint64_t tris) {
+    std::printf("%-28s %9.3f %8.3f %9.3f %14.0f\n", label, s.coverage / n,
+                s.detail / n, s.combined / n,
+                static_cast<double>(tris) / n);
+  };
+  std::printf("%-28s %9s %8s %9s %14s\n", "configuration", "coverage",
+              "detail", "combined", "tris/frame");
+  print_row("(a) original models", original, original_tris);
+  print_row("(b) REVIEW, 200m boxes", review_score, review_tris);
+  print_row("(c) VISUAL, eta=0.001", visual_score, visual_tris);
+
+  std::printf("\nshape checks: REVIEW coverage < 1 (far objects lost to the"
+              " spatial query box);\nVISUAL coverage = 1 with combined"
+              " fidelity close to the original at a fraction of the"
+              " triangles.\n");
+
+  // Second panel: a small full-geometry city — real meshes, QEM-built
+  // object and internal LoDs, mesh-accurate occlusion — to confirm the
+  // fidelity story does not depend on the proxy substitution.
+  std::printf("\n--- full-geometry panel (real meshes, QEM LoDs) ---\n");
+  CityOptions copt;
+  copt.mode = GeometryMode::kFull;
+  copt.blocks_x = 3;
+  copt.blocks_y = 3;
+  copt.facade_columns = 5;
+  copt.facade_rows = 8;
+  copt.bunny_subdivisions = 3;
+  Result<Scene> full_city = GenerateCity(copt);
+  if (!full_city.ok()) {
+    std::fprintf(stderr, "%s\n", full_city.status().ToString().c_str());
+    return 1;
+  }
+  CellGridOptions ggopt;
+  ggopt.cells_x = 3;
+  ggopt.cells_y = 3;
+  Result<CellGrid> fgrid = CellGrid::Build(full_city->bounds(), ggopt);
+  PrecomputeOptions fpopt;
+  fpopt.dov.cubemap.face_resolution = 48;
+  fpopt.dov.geometry = OccluderGeometry::kMeshLod;
+  fpopt.samples_per_cell = 1;
+  Result<VisibilityTable> ftable =
+      PrecomputeVisibility(*full_city, *fgrid, fpopt);
+  if (!fgrid.ok() || !ftable.ok()) {
+    return 1;
+  }
+
+  VisualOptions fvopt = DefaultVisualOptions();
+  fvopt.eta = 0.002;
+  fvopt.build.build_internal_meshes = true;
+  fvopt.prefetch_models_per_frame = 0;
+  Result<std::unique_ptr<VisualSystem>> fvisual =
+      VisualSystem::Create(&*full_city, &*fgrid, &*ftable, fvopt);
+  if (!fvisual.ok()) {
+    std::fprintf(stderr, "%s\n", fvisual.status().ToString().c_str());
+    return 1;
+  }
+  FidelityEvaluator feval(&*full_city, &(*fvisual)->tree());
+  FidelityScore fsum;
+  uint64_t ftris = 0;
+  uint64_t forig = 0;
+  for (CellId c = 0; c < fgrid->num_cells(); ++c) {
+    FrameResult frame;
+    (*fvisual)->ResetRuntime();
+    if (!(*fvisual)
+             ->RenderFrame({fgrid->CellCenter(c), Vec3(1, 0, 0)}, &frame)
+             .ok()) {
+      return 1;
+    }
+    FidelityScore score =
+        feval.Evaluate(ftable->cell(c), (*fvisual)->last_result());
+    fsum.coverage += score.coverage;
+    fsum.detail += score.detail;
+    fsum.combined += score.combined;
+    ftris += frame.rendered_triangles;
+    for (size_t i = 0; i < ftable->cell(c).ids.size(); ++i) {
+      forig += full_city->object(ftable->cell(c).ids[i])
+                   .lods.finest()
+                   .triangle_count;
+    }
+  }
+  const double fn = fgrid->num_cells();
+  std::printf("%s\n", full_city->Summary().c_str());
+  std::printf("VISUAL eta=0.002 on real meshes: coverage %.3f, detail %.3f,"
+              " combined %.3f,\n%.0f of %.0f tris/frame (%.0f%%)\n",
+              fsum.coverage / fn, fsum.detail / fn, fsum.combined / fn,
+              static_cast<double>(ftris) / fn,
+              static_cast<double>(forig) / fn,
+              100.0 * static_cast<double>(ftris) /
+                  static_cast<double>(forig));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hdov::bench
+
+int main() { return hdov::bench::Run(); }

@@ -1,0 +1,84 @@
+// Figure 9 reproduction: scalability of the visibility query over dataset
+// sizes from 400 MB to 1.6 GB (logical model bytes). Reports (a) average
+// search time and (b) average I/Os per query, counting only the HDoV-tree
+// traversal (tree nodes + V-pages), excluding object retrieval — exactly
+// the paper's methodology ("excludes the cost to retrieve the objects").
+// Expected shape: both metrics grow only marginally with dataset size.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "walkthrough/visual_system.h"
+
+namespace hdov::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Figure 9: visibility-query scalability with dataset size",
+              "Figures 9(a,b)");
+
+  const uint64_t kMB = 1ull << 20;
+  const uint64_t targets[] = {400 * kMB, 800 * kMB, 1200 * kMB, 1600 * kMB};
+  const size_t kQueries = 1000;  // The paper uses 1000 queries.
+
+  std::printf("%12s %10s %10s %14s %12s\n", "dataset(MB)", "objects",
+              "nodes", "search(ms)", "I/Os");
+  for (uint64_t target : targets) {
+    CityOptions copt = CityOptionsForTargetBytes(target);
+    Result<Scene> scene = GenerateCity(copt);
+    if (!scene.ok()) {
+      std::fprintf(stderr, "%s\n", scene.status().ToString().c_str());
+      return 1;
+    }
+    CellGridOptions gopt;
+    gopt.cells_x = LargeScale() ? 16 : 10;
+    gopt.cells_y = gopt.cells_x;
+    Result<CellGrid> grid = CellGrid::Build(scene->bounds(), gopt);
+    PrecomputeOptions popt;
+    popt.dov.cubemap.face_resolution = 16;
+    popt.samples_per_cell = 1;
+    Result<VisibilityTable> table = PrecomputeVisibility(*scene, *grid, popt);
+    if (!grid.ok() || !table.ok()) {
+      std::fprintf(stderr, "precompute failed\n");
+      return 1;
+    }
+
+    VisualOptions vopt = DefaultVisualOptions();
+    vopt.eta = 0.001;
+    Result<std::unique_ptr<VisualSystem>> visual =
+        VisualSystem::Create(&*scene, &*grid, &*table, vopt);
+    if (!visual.ok()) {
+      std::fprintf(stderr, "%s\n", visual.status().ToString().c_str());
+      return 1;
+    }
+
+    std::vector<Vec3> viewpoints =
+        RandomViewpoints(scene->bounds(), kQueries, 7);
+    (*visual)->ResetIoStats();
+    std::vector<RetrievedLod> result;
+    for (const Vec3& p : viewpoints) {
+      // Traversal only: no model fetches (paper Fig. 9 methodology).
+      if (Status st = (*visual)->Query(p, /*fetch_models=*/false, &result,
+                                       nullptr);
+          !st.ok()) {
+        std::fprintf(stderr, "query: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    const double ms = (*visual)->clock().NowMillis() / kQueries;
+    const double ios =
+        static_cast<double>((*visual)->TotalIoStats().page_reads) / kQueries;
+    std::printf("%12.0f %10zu %10zu %14.3f %12.2f\n",
+                MB(scene->TotalModelBytes()), scene->size(),
+                (*visual)->tree().num_nodes(), ms, ios);
+  }
+  std::printf("\nshape check: search time and I/Os grow only marginally\n"
+              "while the dataset quadruples (the traversal touches visible\n"
+              "branches only, and N_vnode does not track N_node).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hdov::bench
+
+int main() { return hdov::bench::Run(); }

@@ -1,0 +1,223 @@
+// Component microbenchmarks (google-benchmark): CPU cost of the building
+// blocks, plus ablations DESIGN.md calls out — linear-split vs sorted
+// fallback pressure, cube-map resolution, sequential vs random page I/O,
+// Eq. 4 heuristic on/off, and buffer-pool hit behaviour.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "hdov/builder.h"
+#include "hdov/search.h"
+#include "mesh/primitives.h"
+#include "rtree/linear_split.h"
+#include "rtree/rtree.h"
+#include "scene/city_generator.h"
+#include "simplify/simplifier.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_device.h"
+#include "visibility/cubemap_buffer.h"
+#include "visibility/precompute.h"
+
+namespace hdov {
+namespace {
+
+Aabb RandomBox(Rng* rng, double world, double extent) {
+  Vec3 lo(rng->Uniform(0, world), rng->Uniform(0, world),
+          rng->Uniform(0, world));
+  return Aabb(lo, lo + Vec3(rng->Uniform(0.1, extent),
+                            rng->Uniform(0.1, extent),
+                            rng->Uniform(0.1, extent)));
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(1);
+    RTree tree;
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(RandomBox(&rng, 1000, 20),
+                                           static_cast<uint64_t>(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(4000);
+
+void BM_RTreeWindowQuery(benchmark::State& state) {
+  Rng rng(2);
+  RTree tree;
+  for (int i = 0; i < 5000; ++i) {
+    (void)tree.Insert(RandomBox(&rng, 1000, 20), static_cast<uint64_t>(i));
+  }
+  std::vector<uint64_t> results;
+  for (auto _ : state) {
+    Aabb window = RandomBox(&rng, 1000, static_cast<double>(state.range(0)));
+    tree.WindowQuery(window, &results);
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+BENCHMARK(BM_RTreeWindowQuery)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_LinearSplit(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 33; ++i) {
+    boxes.push_back(RandomBox(&rng, 100, 10));
+  }
+  for (auto _ : state) {
+    SplitResult split = LinearSplit(boxes, 13);
+    benchmark::DoNotOptimize(split.left.data());
+  }
+}
+BENCHMARK(BM_LinearSplit);
+
+void BM_SimplifyIcosphere(benchmark::State& state) {
+  TriangleMesh sphere = MakeIcosphere(4);  // 5120 triangles.
+  SimplifyOptions opt;
+  opt.target_triangles = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Result<TriangleMesh> out = Simplify(sphere, opt);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 5120);
+}
+BENCHMARK(BM_SimplifyIcosphere)->Arg(1024)->Arg(256)->Arg(64);
+
+void BM_CubeMapPointDov(benchmark::State& state) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 8;
+  copt.blocks_y = 8;
+  Scene scene = std::move(*GenerateCity(copt));
+  DovOptions dopt;
+  dopt.cubemap.face_resolution = static_cast<int>(state.range(0));
+  DovComputer computer(&scene, dopt);
+  Vec3 center = scene.bounds().Center();
+  for (auto _ : state) {
+    const std::vector<float>& dov =
+        computer.ComputePointDov(Vec3(center.x, center.y, 1.7));
+    benchmark::DoNotOptimize(dov.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(scene.size()));
+}
+BENCHMARK(BM_CubeMapPointDov)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PageDeviceSequentialVsRandom(benchmark::State& state) {
+  const bool sequential = state.range(0) == 1;
+  PageDevice device;
+  const uint64_t kPages = 4096;
+  device.AllocateUnmaterialized(kPages);
+  Rng rng(4);
+  std::string data;
+  uint64_t next = 0;
+  for (auto _ : state) {
+    PageId page = sequential ? (next++ % kPages) : rng.NextUint64(kPages);
+    benchmark::DoNotOptimize(device.Read(page, &data));
+  }
+  state.SetLabel(sequential ? "sequential" : "random");
+  // The interesting output is the simulated cost, not wall time:
+  state.counters["sim_ms_per_read"] = benchmark::Counter(
+      device.clock().NowMillis(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["seek_fraction"] =
+      static_cast<double>(device.stats().seeks) /
+      static_cast<double>(device.stats().page_reads);
+}
+BENCHMARK(BM_PageDeviceSequentialVsRandom)->Arg(1)->Arg(0);
+
+void BM_BufferPoolGet(benchmark::State& state) {
+  PageDevice device;
+  const uint64_t kPages = 1024;
+  for (uint64_t i = 0; i < kPages; ++i) {
+    device.Allocate();
+  }
+  BufferPool pool(&device, static_cast<size_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Get(rng.NextUint64(kPages)));
+  }
+  state.counters["hit_rate"] = pool.stats().HitRate();
+}
+BENCHMARK(BM_BufferPoolGet)->Arg(64)->Arg(512)->Arg(1024);
+
+// Ablation: full HDoV search with and without the Eq. 4 NVO heuristic.
+class SearchFixture {
+ public:
+  static SearchFixture& Get() {
+    static SearchFixture* instance = new SearchFixture();
+    return *instance;
+  }
+
+  Scene scene;
+  std::unique_ptr<CellGrid> grid;
+  std::unique_ptr<VisibilityTable> table;
+  PageDevice model_device;
+  std::unique_ptr<ModelStore> models;
+  std::unique_ptr<HdovTree> tree;
+  PageDevice store_device;
+  std::unique_ptr<VisibilityStore> store;
+  std::unique_ptr<HdovSearcher> searcher;
+
+ private:
+  SearchFixture() {
+    CityOptions copt;
+    copt.mode = GeometryMode::kProxy;
+    copt.blocks_x = 10;
+    copt.blocks_y = 10;
+    scene = std::move(*GenerateCity(copt));
+    CellGridOptions gopt;
+    gopt.cells_x = 8;
+    gopt.cells_y = 8;
+    grid = std::make_unique<CellGrid>(
+        std::move(*CellGrid::Build(scene.bounds(), gopt)));
+    PrecomputeOptions popt;
+    popt.dov.cubemap.face_resolution = 16;
+    popt.samples_per_cell = 1;
+    table = std::make_unique<VisibilityTable>(
+        std::move(*PrecomputeVisibility(scene, *grid, popt)));
+    models = std::make_unique<ModelStore>(&model_device);
+    tree = std::make_unique<HdovTree>(
+        std::move(*HdovBuilder::Build(scene, models.get(),
+                                      HdovBuildOptions())));
+    store = std::move(BuildStore(StorageScheme::kIndexedVertical, *tree,
+                                 *table, &store_device))
+                .value();
+    searcher = std::make_unique<HdovSearcher>(tree.get(), &scene,
+                                              models.get(), nullptr);
+  }
+};
+
+void BM_HdovSearch(benchmark::State& state) {
+  SearchFixture& fx = SearchFixture::Get();
+  SearchOptions opt;
+  opt.eta = static_cast<double>(state.range(0)) / 100000.0;
+  opt.heuristic = static_cast<TerminationHeuristic>(state.range(1));
+  std::vector<RetrievedLod> result;
+  CellId cell = 0;
+  uint64_t total_items = 0;
+  uint64_t queries = 0;
+  for (auto _ : state) {
+    (void)fx.searcher->Search(fx.store.get(), cell, opt, &result);
+    benchmark::DoNotOptimize(result.data());
+    total_items += result.size();
+    ++queries;
+    cell = (cell + 1) % fx.grid->num_cells();
+  }
+  state.counters["avg_result_items"] =
+      static_cast<double>(total_items) / static_cast<double>(queries);
+}
+BENCHMARK(BM_HdovSearch)
+    ->Args({0, 0})      // eta = 0.
+    ->Args({100, 0})    // eta = 0.001, Eq. 4.
+    ->Args({100, 1})    // eta = 0.001, eta-only (ablation).
+    ->Args({100, 2})    // eta = 0.001, cost model (extension).
+    ->Args({800, 0})    // eta = 0.008, Eq. 4.
+    ->Args({800, 2});   // eta = 0.008, cost model.
+
+}  // namespace
+}  // namespace hdov
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Mesh pipeline: the full-geometry path of the library — procedural
+// models, quadric-error-metric simplification (the qslim algorithm), LoD
+// chains, and OBJ export for inspection in any external viewer.
+//
+// Build & run:  ./build/examples/mesh_pipeline [output_dir]
+// Writes building_lod{0..}.obj and bunny_lod{0..}.obj into output_dir
+// (default /tmp).
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "mesh/obj_io.h"
+#include "mesh/primitives.h"
+#include "simplify/lod_chain.h"
+
+using namespace hdov;  // Example code; library code never does this.
+
+namespace {
+
+int ExportChain(const char* name, const TriangleMesh& mesh,
+                const std::string& out_dir) {
+  LodChainOptions options;
+  options.ratios = {1.0, 0.4, 0.15, 0.05};
+  Result<LodChain> chain = LodChain::Build(mesh, options);
+  if (!chain.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name,
+                 chain.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu LoD levels\n", name, chain->num_levels());
+  for (size_t level = 0; level < chain->num_levels(); ++level) {
+    const LodLevel& lod = chain->level(level);
+    std::string path = out_dir + "/" + name + "_lod" +
+                       std::to_string(level) + ".obj";
+    if (Status s = WriteObjFile(lod.mesh, path); !s.ok()) {
+      std::fprintf(stderr, "  %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  level %zu: %6u triangles, %7.1f KB logical -> %s\n",
+                level, lod.triangle_count,
+                static_cast<double>(lod.byte_size) / 1024.0, path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "/tmp";
+
+  // A detailed office tower...
+  BuildingOptions building_options;
+  building_options.width = 24;
+  building_options.depth = 18;
+  building_options.height = 90;
+  building_options.facade_columns = 10;
+  building_options.facade_rows = 24;
+  building_options.tiers = 3;
+  TriangleMesh building = MakeBuilding(building_options);
+
+  // ... and a park "bunny" blob (the paper decorates parks with bunnies).
+  Rng rng(2003);
+  TriangleMesh bunny = MakeBunnyBlob(/*subdivisions=*/4, /*radius=*/4.0,
+                                     &rng);
+
+  if (int rc = ExportChain("building", building, out_dir); rc != 0) {
+    return rc;
+  }
+  if (int rc = ExportChain("bunny", bunny, out_dir); rc != 0) {
+    return rc;
+  }
+  std::printf(
+      "\nOpen the .obj files in any mesh viewer to see the quadric\n"
+      "error metric simplifier walk the models down to their coarse LoDs.\n");
+  return 0;
+}

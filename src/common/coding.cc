@@ -1,0 +1,4 @@
+#include "common/coding.h"
+
+// All coding helpers are header-inline; this translation unit exists so the
+// header is compiled standalone at least once (self-containedness check).

@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status union, the return type of fallible functions
+// that produce a value. Mirrors absl::StatusOr / arrow::Result semantics
+// with only the operations this codebase needs.
+
+#ifndef HDOV_COMMON_RESULT_H_
+#define HDOV_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hdov {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse: `return 42;` and `return Status::NotFound(...);` both work.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {   // NOLINT
+    assert(!status_.ok() && "Result must not be built from an OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates the error of a Result expression, else assigns its value.
+// Usage: HDOV_ASSIGN_OR_RETURN(auto v, ComputeV());
+#define HDOV_ASSIGN_OR_RETURN(decl, expr)                   \
+  HDOV_ASSIGN_OR_RETURN_IMPL(                               \
+      HDOV_RESULT_CONCAT(_hdov_result_, __LINE__), decl, expr)
+
+#define HDOV_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  decl = std::move(tmp).value()
+
+#define HDOV_RESULT_CONCAT_INNER(a, b) a##b
+#define HDOV_RESULT_CONCAT(a, b) HDOV_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace hdov
+
+#endif  // HDOV_COMMON_RESULT_H_

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every stochastic component in the library (city generation, viewpoint
+// sampling, workload generation) takes an explicit Rng so experiments are
+// reproducible from a single seed.
+
+#ifndef HDOV_COMMON_RNG_H_
+#define HDOV_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace hdov {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding: decorrelates nearby seeds.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n) { return NextUint64() % n; }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    return lo + static_cast<int>(NextUint64(
+                    static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_COMMON_RNG_H_

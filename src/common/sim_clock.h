@@ -1,0 +1,32 @@
+// SimClock: a logical clock advanced by the simulated disk and render cost
+// models. All "time" numbers reported by the experiment harness come from
+// this clock, which makes runs deterministic and independent of host load.
+
+#ifndef HDOV_COMMON_SIM_CLOCK_H_
+#define HDOV_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace hdov {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  void AdvanceMicros(uint64_t micros) { now_micros_ += micros; }
+  void AdvanceMillis(double millis) {
+    now_micros_ += static_cast<uint64_t>(millis * 1000.0 + 0.5);
+  }
+
+  uint64_t NowMicros() const { return now_micros_; }
+  double NowMillis() const { return static_cast<double>(now_micros_) / 1000.0; }
+
+  void Reset() { now_micros_ = 0; }
+
+ private:
+  uint64_t now_micros_ = 0;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_COMMON_SIM_CLOCK_H_

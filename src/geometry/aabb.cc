@@ -1,0 +1,46 @@
+#include "geometry/aabb.h"
+
+#include <cstdio>
+
+namespace hdov {
+
+double Aabb::OverlapVolume(const Aabb& b) const {
+  if (IsEmpty() || b.IsEmpty()) {
+    return 0.0;
+  }
+  double dx = std::min(max.x, b.max.x) - std::max(min.x, b.min.x);
+  double dy = std::min(max.y, b.max.y) - std::max(min.y, b.min.y);
+  double dz = std::min(max.z, b.max.z) - std::max(min.z, b.min.z);
+  if (dx <= 0.0 || dy <= 0.0 || dz <= 0.0) {
+    return 0.0;
+  }
+  return dx * dy * dz;
+}
+
+double Aabb::DistanceSquaredTo(const Vec3& p) const {
+  if (IsEmpty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  auto axis = [](double v, double lo, double hi) {
+    if (v < lo) {
+      return lo - v;
+    }
+    if (v > hi) {
+      return v - hi;
+    }
+    return 0.0;
+  };
+  double dx = axis(p.x, min.x, max.x);
+  double dy = axis(p.y, min.y, max.y);
+  double dz = axis(p.z, min.z, max.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+std::string Aabb::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "[(%.3f, %.3f, %.3f)-(%.3f, %.3f, %.3f)]",
+                min.x, min.y, min.z, max.x, max.y, max.z);
+  return buf;
+}
+
+}  // namespace hdov

@@ -1,0 +1,86 @@
+#include "geometry/frustum.h"
+
+#include <cmath>
+
+namespace hdov {
+
+Frustum::Frustum(const Vec3& eye, const Vec3& look,
+                 const FrustumOptions& options, const Vec3& up)
+    : eye_(eye), forward_(look.Normalized()), options_(options) {
+  // Build an orthonormal camera basis. If `look` is parallel to `up`, fall
+  // back to the x axis to keep the basis well defined.
+  Vec3 right = forward_.Cross(up).Normalized();
+  if (right.LengthSquared() < 1e-12) {
+    right = forward_.Cross(Vec3(1.0, 0.0, 0.0)).Normalized();
+  }
+  Vec3 cam_up = right.Cross(forward_);
+
+  const double tan_half_y = std::tan(options_.fov_y_radians * 0.5);
+  const double tan_half_x = tan_half_y * options_.aspect;
+
+  // Corner points: near plane then far plane, (x, y) in {-,+}x{-,+} order.
+  int idx = 0;
+  for (double dist : {options_.near_dist, options_.far_dist}) {
+    Vec3 center = eye_ + forward_ * dist;
+    Vec3 dx = right * (tan_half_x * dist);
+    Vec3 dy = cam_up * (tan_half_y * dist);
+    corners_[idx++] = center - dx - dy;
+    corners_[idx++] = center + dx - dy;
+    corners_[idx++] = center - dx + dy;
+    corners_[idx++] = center + dx + dy;
+  }
+
+  // Inward-facing planes.
+  planes_[0] = Plane::FromPointNormal(eye_ + forward_ * options_.near_dist,
+                                      forward_);   // near
+  planes_[1] = Plane::FromPointNormal(eye_ + forward_ * options_.far_dist,
+                                      -forward_);  // far
+
+  // Side planes are built from the eye and pairs of far corners, then
+  // oriented so that a point on the view axis lies on the positive side.
+  const Vec3 axis_point = eye_ + forward_ * (options_.far_dist * 0.5);
+  auto side_plane = [&](const Vec3& a, const Vec3& b) {
+    Plane p = Plane::FromPoints(eye_, a, b);
+    if (p.SignedDistance(axis_point) < 0.0) {
+      p.normal = -p.normal;
+      p.d = -p.d;
+    }
+    return p;
+  };
+  planes_[2] = side_plane(corners_[4], corners_[6]);  // left (-x corners)
+  planes_[3] = side_plane(corners_[5], corners_[7]);  // right (+x corners)
+  planes_[4] = side_plane(corners_[4], corners_[5]);  // bottom (-y corners)
+  planes_[5] = side_plane(corners_[6], corners_[7]);  // top (+y corners)
+}
+
+bool Frustum::ContainsPoint(const Vec3& p) const {
+  for (const Plane& plane : planes_) {
+    if (plane.SignedDistance(p) < 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Frustum::IntersectsBox(const Aabb& box) const {
+  if (box.IsEmpty()) {
+    return false;
+  }
+  for (const Plane& plane : planes_) {
+    if (plane.BoxFullyBehind(box)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Aabb Frustum::BoundingBox() const {
+  Aabb box;
+  for (const Vec3& c : corners_) {
+    box.Extend(c);
+  }
+  box.Extend(eye_);
+  return box;
+}
+
+}  // namespace hdov

@@ -1,0 +1,56 @@
+// Frustum: a perspective view frustum defined by eye, look direction, field
+// of view and near/far distances. Used by the REVIEW baseline (window-query
+// box derivation) and by the walkthrough fidelity metric.
+
+#ifndef HDOV_GEOMETRY_FRUSTUM_H_
+#define HDOV_GEOMETRY_FRUSTUM_H_
+
+#include <array>
+
+#include "geometry/aabb.h"
+#include "geometry/plane.h"
+#include "geometry/vec3.h"
+
+namespace hdov {
+
+struct FrustumOptions {
+  double fov_y_radians = 1.0471975511965976;  // 60 degrees.
+  double aspect = 4.0 / 3.0;
+  double near_dist = 0.5;
+  double far_dist = 1000.0;
+};
+
+class Frustum {
+ public:
+  // `look` need not be unit length; `up` defaults to +z (the library's city
+  // scenes use z-up).
+  Frustum(const Vec3& eye, const Vec3& look, const FrustumOptions& options,
+          const Vec3& up = Vec3(0.0, 0.0, 1.0));
+
+  const Vec3& eye() const { return eye_; }
+  const Vec3& forward() const { return forward_; }
+  const FrustumOptions& options() const { return options_; }
+
+  // Six planes with normals pointing into the frustum interior.
+  const std::array<Plane, 6>& planes() const { return planes_; }
+
+  bool ContainsPoint(const Vec3& p) const;
+
+  // Conservative test: false only when the box is certainly outside.
+  bool IntersectsBox(const Aabb& box) const;
+
+  // Tight AABB of the 8 frustum corner points: the single "large query box"
+  // a spatial method would use.
+  Aabb BoundingBox() const;
+
+ private:
+  Vec3 eye_;
+  Vec3 forward_;
+  FrustumOptions options_;
+  std::array<Plane, 6> planes_;
+  std::array<Vec3, 8> corners_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_GEOMETRY_FRUSTUM_H_

@@ -1,0 +1,89 @@
+#include "geometry/intersect.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdov {
+
+std::optional<double> RayTriangle(const Ray& ray, const Vec3& a, const Vec3& b,
+                                  const Vec3& c, double t_min) {
+  const Vec3 e1 = b - a;
+  const Vec3 e2 = c - a;
+  const Vec3 pvec = ray.direction.Cross(e2);
+  const double det = e1.Dot(pvec);
+  if (std::fabs(det) < 1e-14) {
+    return std::nullopt;  // Ray parallel to triangle plane.
+  }
+  const double inv_det = 1.0 / det;
+  const Vec3 tvec = ray.origin - a;
+  const double u = tvec.Dot(pvec) * inv_det;
+  if (u < 0.0 || u > 1.0) {
+    return std::nullopt;
+  }
+  const Vec3 qvec = tvec.Cross(e1);
+  const double v = ray.direction.Dot(qvec) * inv_det;
+  if (v < 0.0 || u + v > 1.0) {
+    return std::nullopt;
+  }
+  const double t = e2.Dot(qvec) * inv_det;
+  if (t <= t_min) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+std::optional<double> RayBox(const Ray& ray, const Aabb& box, double t_min) {
+  if (box.IsEmpty()) {
+    return std::nullopt;
+  }
+  double t_lo = t_min;
+  double t_hi = std::numeric_limits<double>::infinity();
+  const double origin[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const double dir[3] = {ray.direction.x, ray.direction.y, ray.direction.z};
+  const double lo[3] = {box.min.x, box.min.y, box.min.z};
+  const double hi[3] = {box.max.x, box.max.y, box.max.z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::fabs(dir[axis]) < 1e-300) {
+      if (origin[axis] < lo[axis] || origin[axis] > hi[axis]) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    double inv = 1.0 / dir[axis];
+    double t0 = (lo[axis] - origin[axis]) * inv;
+    double t1 = (hi[axis] - origin[axis]) * inv;
+    if (t0 > t1) {
+      std::swap(t0, t1);
+    }
+    t_lo = std::max(t_lo, t0);
+    t_hi = std::min(t_hi, t1);
+    if (t_lo > t_hi) {
+      return std::nullopt;
+    }
+  }
+  return t_lo;
+}
+
+double TriangleArea(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return 0.5 * (b - a).Cross(c - a).Length();
+}
+
+double TriangleSolidAngle(const Vec3& p, const Vec3& a, const Vec3& b,
+                          const Vec3& c) {
+  const Vec3 ra = a - p;
+  const Vec3 rb = b - p;
+  const Vec3 rc = c - p;
+  const double la = ra.Length();
+  const double lb = rb.Length();
+  const double lc = rc.Length();
+  const double numerator = std::fabs(ra.Dot(rb.Cross(rc)));
+  const double denominator = la * lb * lc + ra.Dot(rb) * lc + ra.Dot(rc) * lb +
+                             rb.Dot(rc) * la;
+  double omega = 2.0 * std::atan2(numerator, denominator);
+  if (omega < 0.0) {
+    omega += 2.0 * M_PI;
+  }
+  return omega;
+}
+
+}  // namespace hdov

@@ -1,0 +1,41 @@
+// Ray / triangle / box intersection primitives. These back the software
+// cube-map rasterizer's correctness tests and the visibility ground-truth
+// ray sampler.
+
+#ifndef HDOV_GEOMETRY_INTERSECT_H_
+#define HDOV_GEOMETRY_INTERSECT_H_
+
+#include <optional>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace hdov {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 direction;  // Need not be normalized.
+};
+
+// Möller–Trumbore ray/triangle intersection. Returns the ray parameter t
+// (point = origin + t * direction) for the first hit with t > t_min, or
+// nullopt. Back faces count as hits (occluders are two-sided).
+std::optional<double> RayTriangle(const Ray& ray, const Vec3& a, const Vec3& b,
+                                  const Vec3& c, double t_min = 1e-9);
+
+// Slab test. Returns the entry parameter t >= t_min of the ray into the box
+// (0 when the origin is inside), or nullopt when the ray misses.
+std::optional<double> RayBox(const Ray& ray, const Aabb& box,
+                             double t_min = 0.0);
+
+double TriangleArea(const Vec3& a, const Vec3& b, const Vec3& c);
+
+// Solid angle subtended by triangle (a, b, c) at the origin point `p`, via
+// Van Oosterom & Strackee. Always non-negative; a triangle seen edge-on
+// subtends 0.
+double TriangleSolidAngle(const Vec3& p, const Vec3& a, const Vec3& b,
+                          const Vec3& c);
+
+}  // namespace hdov
+
+#endif  // HDOV_GEOMETRY_INTERSECT_H_

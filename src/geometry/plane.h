@@ -1,0 +1,45 @@
+// Plane: n·p + d = 0 with outward-facing normal convention. Used by the
+// view frustum and the box/plane classification tests.
+
+#ifndef HDOV_GEOMETRY_PLANE_H_
+#define HDOV_GEOMETRY_PLANE_H_
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace hdov {
+
+struct Plane {
+  Vec3 normal{0.0, 0.0, 1.0};
+  double d = 0.0;
+
+  constexpr Plane() = default;
+  Plane(const Vec3& normal_in, double d_in) : normal(normal_in), d(d_in) {}
+
+  // Plane through `point` with the given (not necessarily unit) normal.
+  static Plane FromPointNormal(const Vec3& point, const Vec3& normal) {
+    Vec3 n = normal.Normalized();
+    return Plane(n, -n.Dot(point));
+  }
+
+  // Plane through three counter-clockwise points (normal by right-hand rule).
+  static Plane FromPoints(const Vec3& a, const Vec3& b, const Vec3& c) {
+    return FromPointNormal(a, (b - a).Cross(c - a));
+  }
+
+  // Signed distance: positive on the normal side.
+  double SignedDistance(const Vec3& p) const { return normal.Dot(p) + d; }
+
+  // True when the whole box lies strictly on the negative side.
+  bool BoxFullyBehind(const Aabb& box) const {
+    // The box vertex furthest along the normal decides.
+    Vec3 far_corner{normal.x >= 0.0 ? box.max.x : box.min.x,
+                    normal.y >= 0.0 ? box.max.y : box.min.y,
+                    normal.z >= 0.0 ? box.max.z : box.min.z};
+    return SignedDistance(far_corner) < 0.0;
+  }
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_GEOMETRY_PLANE_H_

@@ -1,0 +1,78 @@
+// Vec3: double-precision 3-vector used throughout the geometry, mesh and
+// visibility subsystems.
+
+#ifndef HDOV_GEOMETRY_VEC3_H_
+#define HDOV_GEOMETRY_VEC3_H_
+
+#include <cmath>
+
+namespace hdov {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Length() const { return std::sqrt(Dot(*this)); }
+  constexpr double LengthSquared() const { return Dot(*this); }
+
+  // Returns the zero vector when called on a (near-)zero vector.
+  Vec3 Normalized() const {
+    double len = Length();
+    if (len < 1e-300) {
+      return {};
+    }
+    return *this / len;
+  }
+
+  double DistanceTo(const Vec3& o) const { return (*this - o).Length(); }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+}  // namespace hdov
+
+#endif  // HDOV_GEOMETRY_VEC3_H_

@@ -1,0 +1,59 @@
+#include "hdov/horizontal_store.h"
+
+namespace hdov {
+
+Result<std::unique_ptr<HorizontalStore>> HorizontalStore::Build(
+    const HdovTree& tree, const std::vector<CellVPageSet>& cells,
+    PageDevice* device) {
+  if (cells.empty()) {
+    return Status::InvalidArgument("horizontal store: no cells");
+  }
+  const size_t record_size = VPageRecordSize(tree.fanout());
+  auto store = std::unique_ptr<HorizontalStore>(new HorizontalStore(
+      device, record_size, static_cast<uint32_t>(cells.size())));
+
+  // Slot layout: node-major — slot(node, cell) = node * C + cell. Every
+  // slot is materialized, including invisible (empty) V-pages; that is the
+  // scheme's defining storage cost.
+  for (size_t node = 0; node < tree.num_nodes(); ++node) {
+    for (const CellVPageSet& cell : cells) {
+      if (cell.pages.size() != tree.num_nodes()) {
+        return Status::InvalidArgument(
+            "horizontal store: cell V-page set size mismatch");
+      }
+      HDOV_RETURN_IF_ERROR(
+          store->file_
+              .AppendRecord(SerializeVPage(cell.pages[node], tree.fanout()))
+              .status());
+    }
+  }
+  HDOV_RETURN_IF_ERROR(store->file_.FinishBuild());
+  return store;
+}
+
+Status HorizontalStore::BeginCell(CellId cell) {
+  if (cell >= num_cells_) {
+    return Status::OutOfRange("horizontal store: cell out of range");
+  }
+  current_cell_ = cell;
+  // No per-cell segment to flip; successive queries in a new cell simply
+  // address different slots.
+  return Status::OK();
+}
+
+Status HorizontalStore::GetVPage(uint32_t node_id, VPage* page,
+                                 bool* visible) {
+  if (current_cell_ == kInvalidCell) {
+    return Status::FailedPrecondition("horizontal store: BeginCell first");
+  }
+  const uint64_t slot =
+      static_cast<uint64_t>(node_id) * num_cells_ + current_cell_;
+  HDOV_RETURN_IF_ERROR(file_.ReadRecord(slot, page));
+  *visible = !page->empty() && VPageVisible(*page);
+  if (!*visible) {
+    page->clear();
+  }
+  return Status::OK();
+}
+
+}  // namespace hdov

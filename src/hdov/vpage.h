@@ -1,0 +1,51 @@
+// V-pages: the view-variant visibility records of the HDoV-tree (paper
+// §4). A V-page holds one VD entry per tree-node entry, where
+// VD = (DoV, NVO): the degree of visibility and the number of visible
+// objects under that entry, both specific to one viewing cell.
+//
+// V-pages are fixed-size records (capacity = the tree's fanout) so a
+// node's V-page can be located by offset arithmetic; several V-pages are
+// packed per device page.
+
+#ifndef HDOV_HDOV_VPAGE_H_
+#define HDOV_HDOV_VPAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hdov {
+
+struct VdEntry {
+  float dov = 0.0f;   // Degree of visibility (0 = hidden).
+  uint32_t nvo = 0;   // Number of visible objects under the entry.
+};
+
+using VPage = std::vector<VdEntry>;
+
+// Serialized byte size of a fixed-capacity V-page record.
+inline constexpr size_t VPageRecordSize(size_t capacity) {
+  return sizeof(uint32_t) + capacity * (sizeof(float) + sizeof(uint32_t));
+}
+
+// Serializes `page` into a record of exactly VPageRecordSize(capacity)
+// bytes. page.size() must be <= capacity.
+std::string SerializeVPage(const VPage& page, size_t capacity);
+
+Status ParseVPage(std::string_view data, VPage* page);
+
+// Sum of the DoV fields (the node's aggregate DoV, paper attribute 2).
+double VPageDovSum(const VPage& page);
+
+// Sum of the NVO fields.
+uint64_t VPageNvoSum(const VPage& page);
+
+// True when any entry has DoV > 0 (the node is visible in this cell).
+bool VPageVisible(const VPage& page);
+
+}  // namespace hdov
+
+#endif  // HDOV_HDOV_VPAGE_H_

@@ -1,0 +1,112 @@
+#include "mesh/obj_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hdov {
+
+namespace {
+
+// Extracts the leading vertex index from an OBJ face token ("7", "7/2",
+// "7/2/3", "7//3"). Returns 0 on parse failure (OBJ indices are 1-based).
+long ParseFaceIndex(const std::string& token) {
+  size_t slash = token.find('/');
+  std::string head = slash == std::string::npos ? token : token.substr(0, slash);
+  try {
+    return std::stol(head);
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+Result<TriangleMesh> ReadObj(std::istream& in) {
+  TriangleMesh mesh;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag.empty() || tag[0] == '#') {
+      continue;
+    }
+    if (tag == "v") {
+      double x, y, z;
+      if (!(ls >> x >> y >> z)) {
+        return Status::Corruption("obj: malformed vertex at line " +
+                                  std::to_string(line_no));
+      }
+      mesh.AddVertex(Vec3(x, y, z));
+    } else if (tag == "f") {
+      std::vector<long> indices;
+      std::string token;
+      while (ls >> token) {
+        long raw = ParseFaceIndex(token);
+        if (raw == 0) {
+          return Status::Corruption("obj: malformed face token at line " +
+                                    std::to_string(line_no));
+        }
+        // Negative indices are relative to the current vertex count.
+        long resolved =
+            raw > 0 ? raw : static_cast<long>(mesh.vertex_count()) + raw + 1;
+        if (resolved < 1 ||
+            resolved > static_cast<long>(mesh.vertex_count())) {
+          return Status::Corruption("obj: face index out of range at line " +
+                                    std::to_string(line_no));
+        }
+        indices.push_back(resolved - 1);
+      }
+      if (indices.size() < 3) {
+        return Status::Corruption("obj: face with fewer than 3 vertices at " +
+                                  std::string("line ") +
+                                  std::to_string(line_no));
+      }
+      for (size_t i = 1; i + 1 < indices.size(); ++i) {
+        mesh.AddTriangle(static_cast<uint32_t>(indices[0]),
+                         static_cast<uint32_t>(indices[i]),
+                         static_cast<uint32_t>(indices[i + 1]));
+      }
+    }
+    // All other tags (vt, vn, o, g, usemtl, s, mtllib, ...) are ignored.
+  }
+  HDOV_RETURN_IF_ERROR(mesh.Validate());
+  return mesh;
+}
+
+Result<TriangleMesh> ReadObjFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("obj: cannot open " + path);
+  }
+  return ReadObj(in);
+}
+
+Status WriteObj(const TriangleMesh& mesh, std::ostream& out) {
+  out << "# hdov triangle mesh: " << mesh.vertex_count() << " vertices, "
+      << mesh.triangle_count() << " triangles\n";
+  for (const Vec3& v : mesh.vertices()) {
+    out << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  for (const Triangle& t : mesh.triangles()) {
+    out << "f " << t.v[0] + 1 << ' ' << t.v[1] + 1 << ' ' << t.v[2] + 1
+        << '\n';
+  }
+  if (!out) {
+    return Status::IoError("obj: stream write failed");
+  }
+  return Status::OK();
+}
+
+Status WriteObjFile(const TriangleMesh& mesh, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("obj: cannot open " + path + " for writing");
+  }
+  return WriteObj(mesh, out);
+}
+
+}  // namespace hdov

@@ -1,0 +1,28 @@
+// Minimal Wavefront OBJ import/export (positions and triangular faces only).
+// Lets users load their own models into the walkthrough systems and dump
+// generated LoDs for inspection in external viewers.
+
+#ifndef HDOV_MESH_OBJ_IO_H_
+#define HDOV_MESH_OBJ_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mesh/triangle_mesh.h"
+
+namespace hdov {
+
+// Parses `v x y z` and `f a b c ...` records; faces with more than three
+// vertices are fan-triangulated; `vt`/`vn` references in face tokens
+// (`a/b/c`) are accepted and ignored. Unknown record types are skipped.
+Result<TriangleMesh> ReadObj(std::istream& in);
+Result<TriangleMesh> ReadObjFile(const std::string& path);
+
+Status WriteObj(const TriangleMesh& mesh, std::ostream& out);
+Status WriteObjFile(const TriangleMesh& mesh, const std::string& path);
+
+}  // namespace hdov
+
+#endif  // HDOV_MESH_OBJ_IO_H_

@@ -1,0 +1,204 @@
+#include "mesh/primitives.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace hdov {
+
+namespace {
+
+// Adds a quad (a, b, c, d) in counter-clockwise order as two triangles.
+void AddQuad(TriangleMesh* mesh, uint32_t a, uint32_t b, uint32_t c,
+             uint32_t d) {
+  mesh->AddTriangle(a, b, c);
+  mesh->AddTriangle(a, c, d);
+}
+
+// Adds one wall of a box as a grid of quads. `origin` is the wall's lower
+// corner; `du`, `dv` span the wall. Normal follows du x dv winding.
+void AddGridWall(TriangleMesh* mesh, const Vec3& origin, const Vec3& du,
+                 const Vec3& dv, int nu, int nv) {
+  // Build the vertex lattice for this wall (vertices are not shared across
+  // walls; simplification merges coincident corners via its own clustering).
+  std::vector<uint32_t> lattice(static_cast<size_t>((nu + 1) * (nv + 1)));
+  for (int j = 0; j <= nv; ++j) {
+    for (int i = 0; i <= nu; ++i) {
+      Vec3 p = origin + du * (static_cast<double>(i) / nu) +
+               dv * (static_cast<double>(j) / nv);
+      lattice[static_cast<size_t>(j * (nu + 1) + i)] = mesh->AddVertex(p);
+    }
+  }
+  auto at = [&](int i, int j) {
+    return lattice[static_cast<size_t>(j * (nu + 1) + i)];
+  };
+  for (int j = 0; j < nv; ++j) {
+    for (int i = 0; i < nu; ++i) {
+      AddQuad(mesh, at(i, j), at(i + 1, j), at(i + 1, j + 1), at(i, j + 1));
+    }
+  }
+}
+
+// Smooth deterministic value noise on the unit sphere: a few low-frequency
+// sinusoids with random phases. Returns roughly [-1, 1].
+class SphereNoise {
+ public:
+  explicit SphereNoise(Rng* rng) {
+    for (auto& h : harmonics_) {
+      h.dir = Vec3(rng->Uniform(-1.0, 1.0), rng->Uniform(-1.0, 1.0),
+                   rng->Uniform(-1.0, 1.0))
+                  .Normalized();
+      h.freq = rng->Uniform(1.5, 5.0);
+      h.phase = rng->Uniform(0.0, 2.0 * M_PI);
+      h.amp = rng->Uniform(0.3, 1.0);
+    }
+  }
+
+  double Eval(const Vec3& unit_p) const {
+    double v = 0.0;
+    double total_amp = 0.0;
+    for (const auto& h : harmonics_) {
+      v += h.amp * std::sin(h.freq * unit_p.Dot(h.dir) + h.phase);
+      total_amp += h.amp;
+    }
+    return v / total_amp;
+  }
+
+ private:
+  struct Harmonic {
+    Vec3 dir;
+    double freq = 1.0;
+    double phase = 0.0;
+    double amp = 1.0;
+  };
+  std::array<Harmonic, 5> harmonics_;
+};
+
+}  // namespace
+
+TriangleMesh MakeBox(const Vec3& min, const Vec3& max) {
+  TriangleMesh mesh;
+  uint32_t v[8];
+  for (int i = 0; i < 8; ++i) {
+    v[i] = mesh.AddVertex(Vec3((i & 1) ? max.x : min.x, (i & 2) ? max.y : min.y,
+                               (i & 4) ? max.z : min.z));
+  }
+  AddQuad(&mesh, v[0], v[2], v[3], v[1]);  // bottom (z = min), normal -z
+  AddQuad(&mesh, v[4], v[5], v[7], v[6]);  // top (z = max), normal +z
+  AddQuad(&mesh, v[0], v[1], v[5], v[4]);  // front (y = min), normal -y
+  AddQuad(&mesh, v[2], v[6], v[7], v[3]);  // back (y = max), normal +y
+  AddQuad(&mesh, v[0], v[4], v[6], v[2]);  // left (x = min), normal -x
+  AddQuad(&mesh, v[1], v[3], v[7], v[5]);  // right (x = max), normal +x
+  return mesh;
+}
+
+TriangleMesh MakeIcosphere(int subdivisions) {
+  // Icosahedron base.
+  const double t = (1.0 + std::sqrt(5.0)) / 2.0;
+  std::vector<Vec3> verts = {
+      {-1, t, 0}, {1, t, 0},  {-1, -t, 0}, {1, -t, 0},
+      {0, -1, t}, {0, 1, t},  {0, -1, -t}, {0, 1, -t},
+      {t, 0, -1}, {t, 0, 1},  {-t, 0, -1}, {-t, 0, 1},
+  };
+  for (Vec3& v : verts) {
+    v = v.Normalized();
+  }
+  std::vector<Triangle> tris = {
+      {{0, 11, 5}}, {{0, 5, 1}},  {{0, 1, 7}},   {{0, 7, 10}}, {{0, 10, 11}},
+      {{1, 5, 9}},  {{5, 11, 4}}, {{11, 10, 2}}, {{10, 7, 6}}, {{7, 1, 8}},
+      {{3, 9, 4}},  {{3, 4, 2}},  {{3, 2, 6}},   {{3, 6, 8}},  {{3, 8, 9}},
+      {{4, 9, 5}},  {{2, 4, 11}}, {{6, 2, 10}},  {{8, 6, 7}},  {{9, 8, 1}},
+  };
+
+  for (int level = 0; level < subdivisions; ++level) {
+    std::map<std::pair<uint32_t, uint32_t>, uint32_t> midpoint_cache;
+    auto midpoint = [&](uint32_t a, uint32_t b) {
+      std::pair<uint32_t, uint32_t> key = std::minmax(a, b);
+      auto it = midpoint_cache.find(key);
+      if (it != midpoint_cache.end()) {
+        return it->second;
+      }
+      Vec3 m = ((verts[a] + verts[b]) * 0.5).Normalized();
+      verts.push_back(m);
+      uint32_t idx = static_cast<uint32_t>(verts.size() - 1);
+      midpoint_cache.emplace(key, idx);
+      return idx;
+    };
+    std::vector<Triangle> next;
+    next.reserve(tris.size() * 4);
+    for (const Triangle& tri : tris) {
+      uint32_t ab = midpoint(tri.v[0], tri.v[1]);
+      uint32_t bc = midpoint(tri.v[1], tri.v[2]);
+      uint32_t ca = midpoint(tri.v[2], tri.v[0]);
+      next.push_back({{tri.v[0], ab, ca}});
+      next.push_back({{tri.v[1], bc, ab}});
+      next.push_back({{tri.v[2], ca, bc}});
+      next.push_back({{ab, bc, ca}});
+    }
+    tris = std::move(next);
+  }
+  return TriangleMesh(std::move(verts), std::move(tris));
+}
+
+TriangleMesh MakeBuilding(const BuildingOptions& options) {
+  TriangleMesh mesh;
+  const int tiers = std::max(1, options.tiers);
+  double tier_height = options.height / tiers;
+  double w = options.width;
+  double d = options.depth;
+  for (int tier = 0; tier < tiers; ++tier) {
+    const double z0 = tier * tier_height;
+    const double z1 = z0 + tier_height;
+    const Vec3 lo(-w / 2.0, -d / 2.0, z0);
+    const Vec3 hi(w / 2.0, d / 2.0, z1);
+    const int nu = std::max(1, options.facade_columns);
+    const int nv = std::max(1, options.facade_rows / tiers);
+    // Four façade walls as grids (so the highest LoD is polygon-rich), plus
+    // a simple roof quad per tier.
+    AddGridWall(&mesh, Vec3(lo.x, lo.y, z0), Vec3(w, 0, 0), Vec3(0, 0, z1 - z0),
+                nu, nv);  // front (y = lo.y)
+    AddGridWall(&mesh, Vec3(hi.x, hi.y, z0), Vec3(-w, 0, 0),
+                Vec3(0, 0, z1 - z0), nu, nv);  // back
+    AddGridWall(&mesh, Vec3(hi.x, lo.y, z0), Vec3(0, d, 0), Vec3(0, 0, z1 - z0),
+                nu, nv);  // right
+    AddGridWall(&mesh, Vec3(lo.x, hi.y, z0), Vec3(0, -d, 0),
+                Vec3(0, 0, z1 - z0), nu, nv);  // left
+    // Roof.
+    uint32_t r0 = mesh.AddVertex(Vec3(lo.x, lo.y, z1));
+    uint32_t r1 = mesh.AddVertex(Vec3(hi.x, lo.y, z1));
+    uint32_t r2 = mesh.AddVertex(Vec3(hi.x, hi.y, z1));
+    uint32_t r3 = mesh.AddVertex(Vec3(lo.x, hi.y, z1));
+    AddQuad(&mesh, r0, r1, r2, r3);
+    // Upper tiers shrink (setback towers).
+    w *= 0.8;
+    d *= 0.8;
+  }
+  return mesh;
+}
+
+TriangleMesh MakeBunnyBlob(int subdivisions, double radius, Rng* rng) {
+  TriangleMesh mesh = MakeIcosphere(subdivisions);
+  SphereNoise noise(rng);
+  for (Vec3& v : mesh.mutable_vertices()) {
+    const double displacement = 1.0 + 0.25 * noise.Eval(v);
+    v = v * (radius * displacement);
+  }
+  // Squash slightly and lift so the blob sits on the ground like a figurine.
+  mesh.Scale(Vec3(1.0, 0.8, 1.1));
+  Aabb box = mesh.BoundingBox();
+  mesh.Translate(Vec3(0.0, 0.0, -box.min.z));
+  return mesh;
+}
+
+TriangleMesh MakeGroundPatch(const Vec3& min, const Vec3& max, int cells_x,
+                             int cells_y) {
+  TriangleMesh mesh;
+  AddGridWall(&mesh, Vec3(min.x, min.y, min.z), Vec3(max.x - min.x, 0, 0),
+              Vec3(0, max.y - min.y, 0), std::max(1, cells_x),
+              std::max(1, cells_y));
+  return mesh;
+}
+
+}  // namespace hdov

@@ -1,0 +1,46 @@
+// Procedural mesh generators for the synthetic city scenes: boxes,
+// buildings with façade detail, icospheres, and the displaced-icosphere
+// "bunny" blobs that stand in for the paper's Stanford bunny models.
+
+#ifndef HDOV_MESH_PRIMITIVES_H_
+#define HDOV_MESH_PRIMITIVES_H_
+
+#include "common/rng.h"
+#include "mesh/triangle_mesh.h"
+
+namespace hdov {
+
+// Axis-aligned box [min, max], 12 triangles, outward-facing winding.
+TriangleMesh MakeBox(const Vec3& min, const Vec3& max);
+
+// Unit icosphere (radius 1, centered at origin) subdivided `subdivisions`
+// times: 20 * 4^subdivisions triangles.
+TriangleMesh MakeIcosphere(int subdivisions);
+
+struct BuildingOptions {
+  double width = 20.0;
+  double depth = 20.0;
+  double height = 40.0;
+  // Façade tessellation: each wall is subdivided into a grid of quads
+  // (2 triangles each), giving detailed highest-LoD geometry whose count
+  // scales with building size — mirrors window/ledge detail in real models.
+  int facade_columns = 6;
+  int facade_rows = 10;
+  // Number of stacked box "tiers"; >1 makes towers with setbacks.
+  int tiers = 1;
+};
+
+// Building with its footprint centered at (0, 0), base at z = 0.
+TriangleMesh MakeBuilding(const BuildingOptions& options);
+
+// Organic blob: icosphere displaced by smooth pseudo-noise. Stands in for
+// the paper's bunny models (high-poly rounded occluders).
+TriangleMesh MakeBunnyBlob(int subdivisions, double radius, Rng* rng);
+
+// Flat rectangular ground patch tessellated into a grid.
+TriangleMesh MakeGroundPatch(const Vec3& min, const Vec3& max, int cells_x,
+                             int cells_y);
+
+}  // namespace hdov
+
+#endif  // HDOV_MESH_PRIMITIVES_H_

@@ -1,0 +1,118 @@
+#include "mesh/triangle_mesh.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geometry/intersect.h"
+
+namespace hdov {
+
+Aabb TriangleMesh::BoundingBox() const {
+  Aabb box;
+  for (const Vec3& v : vertices_) {
+    box.Extend(v);
+  }
+  return box;
+}
+
+double TriangleMesh::SurfaceArea() const {
+  double area = 0.0;
+  for (size_t t = 0; t < triangles_.size(); ++t) {
+    auto [a, b, c] = TriangleVertices(t);
+    area += TriangleArea(a, b, c);
+  }
+  return area;
+}
+
+Vec3 TriangleMesh::Centroid() const {
+  Vec3 weighted;
+  double total_area = 0.0;
+  for (size_t t = 0; t < triangles_.size(); ++t) {
+    auto [a, b, c] = TriangleVertices(t);
+    double area = TriangleArea(a, b, c);
+    weighted += (a + b + c) * (area / 3.0);
+    total_area += area;
+  }
+  if (total_area < 1e-30) {
+    // Degenerate surface: fall back to the vertex average.
+    Vec3 sum;
+    for (const Vec3& v : vertices_) {
+      sum += v;
+    }
+    return vertices_.empty() ? Vec3() : sum / static_cast<double>(
+                                                  vertices_.size());
+  }
+  return weighted / total_area;
+}
+
+Vec3 TriangleMesh::TriangleNormal(size_t t) const {
+  auto [a, b, c] = TriangleVertices(t);
+  return (b - a).Cross(c - a).Normalized();
+}
+
+void TriangleMesh::Append(const TriangleMesh& other) {
+  const uint32_t base = static_cast<uint32_t>(vertices_.size());
+  vertices_.insert(vertices_.end(), other.vertices_.begin(),
+                   other.vertices_.end());
+  triangles_.reserve(triangles_.size() + other.triangles_.size());
+  for (const Triangle& tri : other.triangles_) {
+    triangles_.push_back(
+        Triangle{{tri.v[0] + base, tri.v[1] + base, tri.v[2] + base}});
+  }
+}
+
+void TriangleMesh::Translate(const Vec3& delta) {
+  for (Vec3& v : vertices_) {
+    v += delta;
+  }
+}
+
+void TriangleMesh::Scale(double factor) { Scale(Vec3(factor, factor, factor)); }
+
+void TriangleMesh::Scale(const Vec3& factors) {
+  for (Vec3& v : vertices_) {
+    v.x *= factors.x;
+    v.y *= factors.y;
+    v.z *= factors.z;
+  }
+}
+
+Status TriangleMesh::Validate() const {
+  const uint32_t n = static_cast<uint32_t>(vertices_.size());
+  for (size_t t = 0; t < triangles_.size(); ++t) {
+    const Triangle& tri = triangles_[t];
+    for (uint32_t idx : tri.v) {
+      if (idx >= n) {
+        return Status::Corruption("triangle " + std::to_string(t) +
+                                  " references out-of-range vertex " +
+                                  std::to_string(idx));
+      }
+    }
+    if (tri.v[0] == tri.v[1] || tri.v[1] == tri.v[2] ||
+        tri.v[0] == tri.v[2]) {
+      return Status::Corruption("triangle " + std::to_string(t) +
+                                " repeats a vertex index");
+    }
+  }
+  return Status::OK();
+}
+
+void TriangleMesh::CompactVertices() {
+  std::vector<uint32_t> remap(vertices_.size(),
+                              std::numeric_limits<uint32_t>::max());
+  std::vector<Vec3> new_vertices;
+  new_vertices.reserve(vertices_.size());
+  for (Triangle& tri : triangles_) {
+    for (uint32_t& idx : tri.v) {
+      if (remap[idx] == std::numeric_limits<uint32_t>::max()) {
+        remap[idx] = static_cast<uint32_t>(new_vertices.size());
+        new_vertices.push_back(vertices_[idx]);
+      }
+      idx = remap[idx];
+    }
+  }
+  vertices_ = std::move(new_vertices);
+}
+
+}  // namespace hdov

@@ -1,0 +1,129 @@
+#include "rtree/linear_split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hdov {
+
+namespace {
+
+struct AxisCandidate {
+  std::vector<size_t> low;
+  std::vector<size_t> high;
+  size_t imbalance = 0;     // max(|low|, |high|) — smaller is better.
+  double overlap = 0.0;     // Overlap volume of the two group boxes.
+  double coverage = 0.0;    // Sum of the two group volumes.
+};
+
+Aabb GroupBox(const std::vector<Aabb>& boxes, const std::vector<size_t>& idx) {
+  Aabb box;
+  for (size_t i : idx) {
+    box.Extend(boxes[i]);
+  }
+  return box;
+}
+
+// Rebalances a candidate so both sides have at least `min_fill` entries by
+// moving over the entries whose centers are nearest the other group.
+void EnforceMinFill(const std::vector<Aabb>& boxes, size_t min_fill,
+                    AxisCandidate* cand) {
+  auto donate = [&](std::vector<size_t>* from, std::vector<size_t>* to) {
+    Aabb to_box = GroupBox(boxes, *to);
+    while (to->size() < min_fill && from->size() > min_fill) {
+      // Pick the donor entry with the smallest enlargement of `to_box`.
+      size_t best_pos = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (size_t pos = 0; pos < from->size(); ++pos) {
+        double cost = to_box.Enlargement(boxes[(*from)[pos]]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_pos = pos;
+        }
+      }
+      size_t moved = (*from)[best_pos];
+      from->erase(from->begin() + static_cast<ptrdiff_t>(best_pos));
+      to->push_back(moved);
+      to_box.Extend(boxes[moved]);
+    }
+  };
+  donate(&cand->low, &cand->high);
+  donate(&cand->high, &cand->low);
+}
+
+}  // namespace
+
+SplitResult LinearSplit(const std::vector<Aabb>& boxes, size_t min_fill) {
+  const size_t n = boxes.size();
+  Aabb node_box = GroupBox(
+      boxes, [&] {
+        std::vector<size_t> all(n);
+        for (size_t i = 0; i < n; ++i) {
+          all[i] = i;
+        }
+        return all;
+      }());
+
+  const double node_lo[3] = {node_box.min.x, node_box.min.y, node_box.min.z};
+  const double node_hi[3] = {node_box.max.x, node_box.max.y, node_box.max.z};
+
+  AxisCandidate best;
+  bool have_best = false;
+  for (int axis = 0; axis < 3; ++axis) {
+    AxisCandidate cand;
+    for (size_t i = 0; i < n; ++i) {
+      const Aabb& b = boxes[i];
+      const double lo[3] = {b.min.x, b.min.y, b.min.z};
+      const double hi[3] = {b.max.x, b.max.y, b.max.z};
+      const double to_low = lo[axis] - node_lo[axis];
+      const double to_high = node_hi[axis] - hi[axis];
+      if (to_low < to_high) {
+        cand.low.push_back(i);
+      } else {
+        cand.high.push_back(i);
+      }
+    }
+    // Degenerate assignment (all on one side): fall back to a sorted-by-
+    // center halving along this axis.
+    if (cand.low.empty() || cand.high.empty()) {
+      std::vector<size_t> order(n);
+      for (size_t i = 0; i < n; ++i) {
+        order[i] = i;
+      }
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const Vec3 ca = boxes[a].Center();
+        const Vec3 cb = boxes[b].Center();
+        const double va = axis == 0 ? ca.x : axis == 1 ? ca.y : ca.z;
+        const double vb = axis == 0 ? cb.x : axis == 1 ? cb.y : cb.z;
+        return va < vb;
+      });
+      cand.low.assign(order.begin(),
+                      order.begin() + static_cast<ptrdiff_t>(n / 2));
+      cand.high.assign(order.begin() + static_cast<ptrdiff_t>(n / 2),
+                       order.end());
+    }
+    EnforceMinFill(boxes, min_fill, &cand);
+
+    cand.imbalance = std::max(cand.low.size(), cand.high.size());
+    Aabb low_box = GroupBox(boxes, cand.low);
+    Aabb high_box = GroupBox(boxes, cand.high);
+    cand.overlap = low_box.OverlapVolume(high_box);
+    cand.coverage = low_box.Volume() + high_box.Volume();
+
+    if (!have_best || cand.imbalance < best.imbalance ||
+        (cand.imbalance == best.imbalance &&
+         (cand.overlap < best.overlap ||
+          (cand.overlap == best.overlap &&
+           cand.coverage < best.coverage)))) {
+      best = std::move(cand);
+      have_best = true;
+    }
+  }
+
+  SplitResult result;
+  result.left = std::move(best.low);
+  result.right = std::move(best.high);
+  return result;
+}
+
+}  // namespace hdov

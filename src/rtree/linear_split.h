@@ -1,0 +1,32 @@
+// Ang–Tan linear node split ("New Linear Node Splitting Algorithm for
+// R-trees", SSD'97) — the split policy the paper's prototype uses to
+// "minimize the overlap of the bounding boxes".
+//
+// For each axis, every entry is assigned to the side of the node box whose
+// border it is nearer to; the split axis is the one with the most balanced
+// assignment, with ties broken by the overlap volume of the two resulting
+// boxes, then by total coverage.
+
+#ifndef HDOV_RTREE_LINEAR_SPLIT_H_
+#define HDOV_RTREE_LINEAR_SPLIT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "geometry/aabb.h"
+
+namespace hdov {
+
+struct SplitResult {
+  std::vector<size_t> left;   // Indices into the input entry list.
+  std::vector<size_t> right;
+};
+
+// Splits `boxes` (at least 2 entries) into two groups, each with at least
+// `min_fill` entries (min_fill <= boxes.size() / 2).
+SplitResult LinearSplit(const std::vector<Aabb>& boxes, size_t min_fill);
+
+}  // namespace hdov
+
+#endif  // HDOV_RTREE_LINEAR_SPLIT_H_

@@ -1,0 +1,100 @@
+#include "rtree/quadratic_split.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hdov {
+
+SplitResult QuadraticSplit(const std::vector<Aabb>& boxes, size_t min_fill) {
+  const size_t n = boxes.size();
+
+  // PickSeeds: the pair whose combined box wastes the most space.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double waste = Aabb::Union(boxes[i], boxes[j]).Volume() -
+                     boxes[i].Volume() - boxes[j].Volume();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  SplitResult result;
+  result.left.push_back(seed_a);
+  result.right.push_back(seed_b);
+  Aabb left_box = boxes[seed_a];
+  Aabb right_box = boxes[seed_b];
+
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group needs every remaining entry to reach min fill, assign
+    // them all and stop.
+    if (result.left.size() + remaining <= min_fill) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          result.left.push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (result.right.size() + remaining <= min_fill) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          result.right.push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+
+    // PickNext: the entry with the strongest preference for one group.
+    size_t best = 0;
+    double best_preference = -1.0;
+    double best_d_left = 0.0;
+    double best_d_right = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) {
+        continue;
+      }
+      double d_left = left_box.Enlargement(boxes[i]);
+      double d_right = right_box.Enlargement(boxes[i]);
+      double preference = std::fabs(d_left - d_right);
+      if (preference > best_preference) {
+        best_preference = preference;
+        best = i;
+        best_d_left = d_left;
+        best_d_right = d_right;
+      }
+    }
+
+    bool to_left;
+    if (best_d_left != best_d_right) {
+      to_left = best_d_left < best_d_right;
+    } else if (left_box.Volume() != right_box.Volume()) {
+      to_left = left_box.Volume() < right_box.Volume();
+    } else {
+      to_left = result.left.size() <= result.right.size();
+    }
+    if (to_left) {
+      result.left.push_back(best);
+      left_box.Extend(boxes[best]);
+    } else {
+      result.right.push_back(best);
+      right_box.Extend(boxes[best]);
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+  return result;
+}
+
+}  // namespace hdov

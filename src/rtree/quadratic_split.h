@@ -1,0 +1,20 @@
+// Guttman's quadratic node split — the classic O(M^2) split the original
+// R-tree paper proposes. Provided alongside the Ang–Tan linear split as an
+// ablation: the paper's prototype uses the linear split "to minimize the
+// overlap of the bounding boxes", and bench_micro_components quantifies
+// what that choice buys.
+
+#ifndef HDOV_RTREE_QUADRATIC_SPLIT_H_
+#define HDOV_RTREE_QUADRATIC_SPLIT_H_
+
+#include "rtree/linear_split.h"
+
+namespace hdov {
+
+// Splits `boxes` (at least 2 entries) into two groups, each with at least
+// `min_fill` entries.
+SplitResult QuadraticSplit(const std::vector<Aabb>& boxes, size_t min_fill);
+
+}  // namespace hdov
+
+#endif  // HDOV_RTREE_QUADRATIC_SPLIT_H_

@@ -1,0 +1,569 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include <cmath>
+
+#include "common/coding.h"
+#include "rtree/linear_split.h"
+#include "rtree/quadratic_split.h"
+
+namespace hdov {
+
+RTree::RTree(const RTreeOptions& options) : options_(options) {
+  assert(options_.max_entries >= 4);
+  assert(options_.min_entries >= 1);
+  assert(options_.min_entries <= options_.max_entries / 2);
+  root_ = AllocateNode(/*is_leaf=*/true, /*level=*/0);
+}
+
+size_t RTree::AllocateNode(bool is_leaf, int level) {
+  size_t index;
+  if (!free_nodes_.empty()) {
+    index = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[index] = Node();
+  } else {
+    index = nodes_.size();
+    nodes_.emplace_back();
+  }
+  nodes_[index].is_leaf = is_leaf;
+  nodes_[index].level = level;
+  return index;
+}
+
+size_t RTree::ChooseSubtree(size_t node_index, const Aabb& mbr,
+                            int /*target_level*/) {
+  const Node& node = nodes_[node_index];
+  size_t best = 0;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const Aabb& box = node.entries[i].mbr;
+    double enlargement = box.Enlargement(mbr);
+    double volume = box.Volume();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && volume < best_volume)) {
+      best_enlargement = enlargement;
+      best_volume = volume;
+      best = i;
+    }
+  }
+  return best;
+}
+
+size_t RTree::SplitNode(size_t node_index) {
+  Node& node = nodes_[node_index];
+  std::vector<Aabb> boxes;
+  boxes.reserve(node.entries.size());
+  for (const Entry& e : node.entries) {
+    boxes.push_back(e.mbr);
+  }
+  SplitResult split = options_.split == SplitAlgorithm::kQuadratic
+                          ? QuadraticSplit(boxes, options_.min_entries)
+                          : LinearSplit(boxes, options_.min_entries);
+
+  size_t sibling_index = AllocateNode(node.is_leaf, node.level);
+  // NOTE: AllocateNode may reallocate nodes_, invalidating `node`.
+  Node& original = nodes_[node_index];
+  Node& sibling = nodes_[sibling_index];
+
+  std::vector<Entry> left_entries;
+  left_entries.reserve(split.left.size());
+  for (size_t i : split.left) {
+    left_entries.push_back(original.entries[i]);
+  }
+  for (size_t i : split.right) {
+    sibling.entries.push_back(original.entries[i]);
+  }
+  original.entries = std::move(left_entries);
+  return sibling_index;
+}
+
+void RTree::InsertAtLevel(const Entry& entry, int target_level) {
+  // Descend to the target level, recording (node, entry-slot) pairs.
+  struct PathStep {
+    size_t node;
+    size_t entry_slot;  // Slot in `node` pointing at the next step.
+  };
+  std::vector<PathStep> path;
+  size_t current = root_;
+  while (nodes_[current].level > target_level) {
+    size_t slot = ChooseSubtree(current, entry.mbr, target_level);
+    path.push_back({current, slot});
+    current = static_cast<size_t>(nodes_[current].entries[slot].payload);
+  }
+
+  nodes_[current].entries.push_back(entry);
+
+  // Walk back up: refresh covering boxes and split overflowing nodes.
+  size_t pending_sibling = static_cast<size_t>(-1);
+  if (nodes_[current].entries.size() > options_.max_entries) {
+    pending_sibling = SplitNode(current);
+  }
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Node& parent = nodes_[it->node];
+    parent.entries[it->entry_slot].mbr = NodeBox(
+        static_cast<size_t>(parent.entries[it->entry_slot].payload));
+    if (pending_sibling != static_cast<size_t>(-1)) {
+      Entry sibling_entry;
+      sibling_entry.mbr = NodeBox(pending_sibling);
+      sibling_entry.payload = pending_sibling;
+      parent.entries.push_back(sibling_entry);
+      pending_sibling = static_cast<size_t>(-1);
+    }
+    if (parent.entries.size() > options_.max_entries) {
+      pending_sibling = SplitNode(it->node);
+    }
+  }
+
+  if (pending_sibling != static_cast<size_t>(-1)) {
+    // The root itself split: grow the tree by one level.
+    size_t new_root =
+        AllocateNode(/*is_leaf=*/false, nodes_[root_].level + 1);
+    Entry left;
+    left.mbr = NodeBox(root_);
+    left.payload = root_;
+    Entry right;
+    right.mbr = NodeBox(pending_sibling);
+    right.payload = pending_sibling;
+    nodes_[new_root].entries.push_back(left);
+    nodes_[new_root].entries.push_back(right);
+    root_ = new_root;
+  }
+}
+
+namespace {
+
+// Chunks `count` items into groups of at most `max_size`, rebalancing the
+// final two groups so that every group has at least `min_size` items
+// (requires min_size <= max_size / 2). Returns group sizes.
+std::vector<size_t> ChunkSizes(size_t count, size_t max_size,
+                               size_t min_size) {
+  std::vector<size_t> sizes;
+  if (count == 0) {
+    return sizes;
+  }
+  size_t full = count / max_size;
+  size_t rest = count % max_size;
+  sizes.assign(full, max_size);
+  if (rest > 0) {
+    if (!sizes.empty() && rest < min_size) {
+      // Borrow from the previous group so the tail reaches min fill.
+      size_t borrow = min_size - rest;
+      sizes.back() -= borrow;
+      rest += borrow;
+    }
+    sizes.push_back(rest);
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Result<RTree> RTree::BulkLoad(
+    const std::vector<std::pair<Aabb, uint64_t>>& entries,
+    const RTreeOptions& options) {
+  RTree tree(options);
+  if (entries.empty()) {
+    return tree;
+  }
+  for (const auto& [mbr, id] : entries) {
+    if (mbr.IsEmpty()) {
+      return Status::InvalidArgument("rtree bulk load: empty MBR");
+    }
+  }
+  const size_t n = entries.size();
+  const size_t M = options.max_entries;
+
+  // Sort-tile-recursive ordering of the leaf entries: slabs along x, runs
+  // along y within each slab, z order within each run.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  auto center = [&](size_t i) { return entries[i].first.Center(); };
+  const size_t num_leaves = (n + M - 1) / M;
+  const auto slabs = static_cast<size_t>(std::max(
+      1.0, std::ceil(std::cbrt(static_cast<double>(num_leaves)))));
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return center(a).x < center(b).x;
+  });
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t s = 0; s * slab_size < n; ++s) {
+    auto begin = order.begin() + static_cast<ptrdiff_t>(s * slab_size);
+    auto end = order.begin() +
+               static_cast<ptrdiff_t>(std::min(n, (s + 1) * slab_size));
+    std::sort(begin, end, [&](size_t a, size_t b) {
+      return center(a).y < center(b).y;
+    });
+    const size_t run_size =
+        (static_cast<size_t>(end - begin) + slabs - 1) / slabs;
+    for (size_t r = 0; begin + static_cast<ptrdiff_t>(r * run_size) < end;
+         ++r) {
+      auto run_begin = begin + static_cast<ptrdiff_t>(r * run_size);
+      auto run_end = std::min(
+          end, begin + static_cast<ptrdiff_t>((r + 1) * run_size));
+      std::sort(run_begin, run_end, [&](size_t a, size_t b) {
+        return center(a).z < center(b).z;
+      });
+    }
+  }
+
+  // Pack the leaf level.
+  tree.nodes_.clear();
+  tree.free_nodes_.clear();
+  std::vector<size_t> current_level;  // Node indices of the level built.
+  {
+    size_t pos = 0;
+    for (size_t size : ChunkSizes(n, M, options.min_entries)) {
+      size_t node_index = tree.AllocateNode(/*is_leaf=*/true, /*level=*/0);
+      Node& node = tree.nodes_[node_index];
+      node.entries.reserve(size);
+      for (size_t k = 0; k < size; ++k) {
+        const auto& [mbr, id] = entries[order[pos++]];
+        node.entries.push_back(Entry{mbr, id});
+      }
+      current_level.push_back(node_index);
+    }
+  }
+
+  // Pack upper levels over the (already spatially coherent) child order.
+  int level = 1;
+  while (current_level.size() > 1) {
+    std::vector<size_t> next_level;
+    size_t pos = 0;
+    for (size_t size :
+         ChunkSizes(current_level.size(), M, options.min_entries)) {
+      size_t node_index = tree.AllocateNode(/*is_leaf=*/false, level);
+      Node& node = tree.nodes_[node_index];
+      node.entries.reserve(size);
+      for (size_t k = 0; k < size; ++k) {
+        size_t child = current_level[pos++];
+        node.entries.push_back(
+            Entry{tree.nodes_[child].BoundingBox(), child});
+      }
+      next_level.push_back(node_index);
+    }
+    current_level = std::move(next_level);
+    ++level;
+  }
+  tree.root_ = current_level.front();
+  tree.num_objects_ = n;
+  HDOV_RETURN_IF_ERROR(tree.CheckInvariants());
+  return tree;
+}
+
+Status RTree::Insert(const Aabb& mbr, uint64_t object_id) {
+  if (mbr.IsEmpty()) {
+    return Status::InvalidArgument("rtree: cannot insert an empty MBR");
+  }
+  Entry entry;
+  entry.mbr = mbr;
+  entry.payload = object_id;
+  InsertAtLevel(entry, /*target_level=*/0);
+  ++num_objects_;
+  return Status::OK();
+}
+
+Status RTree::Delete(const Aabb& mbr, uint64_t object_id) {
+  // Find the leaf holding the entry (DFS over overlapping branches).
+  struct Frame {
+    size_t node;
+    std::vector<size_t> path;  // Node indices from root to `node`'s parent.
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_, {}});
+  size_t found_leaf = static_cast<size_t>(-1);
+  std::vector<size_t> found_path;
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const Node& node = nodes_[frame.node];
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        if (e.payload == object_id && e.mbr == mbr) {
+          found_leaf = frame.node;
+          found_path = frame.path;
+          break;
+        }
+      }
+      if (found_leaf != static_cast<size_t>(-1)) {
+        break;
+      }
+      continue;
+    }
+    for (const Entry& e : node.entries) {
+      if (e.mbr.Intersects(mbr)) {
+        Frame child;
+        child.node = static_cast<size_t>(e.payload);
+        child.path = frame.path;
+        child.path.push_back(frame.node);
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+  if (found_leaf == static_cast<size_t>(-1)) {
+    return Status::NotFound("rtree: entry not present");
+  }
+
+  Node& leaf = nodes_[found_leaf];
+  leaf.entries.erase(
+      std::find_if(leaf.entries.begin(), leaf.entries.end(),
+                   [&](const Entry& e) {
+                     return e.payload == object_id && e.mbr == mbr;
+                   }));
+  --num_objects_;
+
+  // CondenseTree: walk up, dropping underfull nodes and collecting their
+  // entries for reinsertion at the appropriate levels.
+  std::vector<std::pair<Entry, int>> orphans;
+  size_t current = found_leaf;
+  for (auto it = found_path.rbegin(); it != found_path.rend(); ++it) {
+    Node& parent = nodes_[*it];
+    size_t slot = 0;
+    while (slot < parent.entries.size() &&
+           static_cast<size_t>(parent.entries[slot].payload) != current) {
+      ++slot;
+    }
+    assert(slot < parent.entries.size());
+    Node& child = nodes_[current];
+    if (child.entries.size() < options_.min_entries) {
+      for (const Entry& e : child.entries) {
+        orphans.emplace_back(e, child.level);
+      }
+      parent.entries.erase(parent.entries.begin() +
+                           static_cast<ptrdiff_t>(slot));
+      free_nodes_.push_back(current);
+    } else {
+      parent.entries[slot].mbr = NodeBox(current);
+    }
+    current = *it;
+  }
+
+  // Shrink the tree when the root became a trivial internal node.
+  while (!nodes_[root_].is_leaf && nodes_[root_].entries.size() == 1) {
+    size_t old_root = root_;
+    root_ = static_cast<size_t>(nodes_[root_].entries[0].payload);
+    free_nodes_.push_back(old_root);
+  }
+  if (!nodes_[root_].is_leaf && nodes_[root_].entries.empty()) {
+    nodes_[root_].is_leaf = true;
+    nodes_[root_].level = 0;
+  }
+
+  for (const auto& [entry, level] : orphans) {
+    int reinsert_level = std::min(level, nodes_[root_].level);
+    InsertAtLevel(entry, reinsert_level);
+  }
+  return Status::OK();
+}
+
+void RTree::WindowQuery(const Aabb& window,
+                        std::vector<uint64_t>* results) const {
+  std::vector<Entry> entries;
+  WindowQueryEntries(window, &entries);
+  results->clear();
+  results->reserve(entries.size());
+  for (const Entry& e : entries) {
+    results->push_back(e.payload);
+  }
+}
+
+void RTree::WindowQueryEntries(const Aabb& window,
+                               std::vector<Entry>* results) const {
+  results->clear();
+  if (num_objects_ == 0) {
+    return;
+  }
+  std::vector<size_t> stack = {root_};
+  while (!stack.empty()) {
+    size_t index = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[index];
+    for (const Entry& e : node.entries) {
+      if (!e.mbr.Intersects(window)) {
+        continue;
+      }
+      if (node.is_leaf) {
+        results->push_back(e);
+      } else {
+        stack.push_back(static_cast<size_t>(e.payload));
+      }
+    }
+  }
+}
+
+size_t RTree::num_nodes() const {
+  size_t count = 0;
+  VisitDepthFirst([&count](size_t, const Node&) { ++count; });
+  return count;
+}
+
+int RTree::height() const { return nodes_[root_].level + 1; }
+
+void RTree::VisitDepthFirst(
+    const std::function<void(size_t, const Node&)>& visitor) const {
+  std::vector<size_t> stack = {root_};
+  while (!stack.empty()) {
+    size_t index = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[index];
+    visitor(index, node);
+    if (!node.is_leaf) {
+      // Push children in reverse so they are visited in entry order.
+      for (auto it = node.entries.rbegin(); it != node.entries.rend(); ++it) {
+        stack.push_back(static_cast<size_t>(it->payload));
+      }
+    }
+  }
+}
+
+Status RTree::CheckInvariants() const {
+  Status status = Status::OK();
+  size_t seen_objects = 0;
+  std::vector<size_t> stack = {root_};
+  while (!stack.empty() && status.ok()) {
+    size_t index = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[index];
+    if (index != root_ && node.entries.size() < options_.min_entries) {
+      return Status::Internal("rtree: underfull non-root node");
+    }
+    if (node.entries.size() > options_.max_entries) {
+      return Status::Internal("rtree: overfull node");
+    }
+    if (node.is_leaf) {
+      if (node.level != 0) {
+        return Status::Internal("rtree: leaf with nonzero level");
+      }
+      seen_objects += node.entries.size();
+      continue;
+    }
+    for (const Entry& e : node.entries) {
+      size_t child = static_cast<size_t>(e.payload);
+      if (child >= nodes_.size()) {
+        return Status::Internal("rtree: child index out of range");
+      }
+      if (nodes_[child].level != node.level - 1) {
+        return Status::Internal("rtree: child level mismatch");
+      }
+      if (!(e.mbr == nodes_[child].BoundingBox())) {
+        return Status::Internal("rtree: stale covering box");
+      }
+      stack.push_back(child);
+    }
+  }
+  if (seen_objects != num_objects_) {
+    return Status::Internal("rtree: object count mismatch");
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// PackedRTree
+// ---------------------------------------------------------------------------
+
+std::string PackedRTree::SerializeNode(const RTree::Node& node,
+                                       const std::vector<PageId>& child_pages) {
+  std::string out;
+  EncodeFixed32(&out, node.is_leaf ? 1 : 0);
+  EncodeFixed32(&out, static_cast<uint32_t>(node.entries.size()));
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    const RTree::Entry& e = node.entries[i];
+    EncodeDouble(&out, e.mbr.min.x);
+    EncodeDouble(&out, e.mbr.min.y);
+    EncodeDouble(&out, e.mbr.min.z);
+    EncodeDouble(&out, e.mbr.max.x);
+    EncodeDouble(&out, e.mbr.max.y);
+    EncodeDouble(&out, e.mbr.max.z);
+    EncodeFixed64(&out, node.is_leaf ? e.payload : child_pages[i]);
+  }
+  return out;
+}
+
+Result<PackedRTree> PackedRTree::Pack(const RTree& tree, PageDevice* device) {
+  // Assign pages in depth-first order (children after parents) so that
+  // subtree reads are mostly sequential.
+  std::vector<size_t> dfs_order;
+  tree.VisitDepthFirst(
+      [&dfs_order](size_t index, const RTree::Node&) {
+        dfs_order.push_back(index);
+      });
+  std::unordered_map<size_t, PageId> node_page;
+  for (size_t index : dfs_order) {
+    node_page[index] = device->Allocate();
+  }
+
+  for (size_t index : dfs_order) {
+    const RTree::Node& node = tree.node(index);
+    std::vector<PageId> child_pages;
+    if (!node.is_leaf) {
+      child_pages.reserve(node.entries.size());
+      for (const RTree::Entry& e : node.entries) {
+        child_pages.push_back(node_page.at(static_cast<size_t>(e.payload)));
+      }
+    }
+    std::string payload = SerializeNode(node, child_pages);
+    if (payload.size() > device->page_size()) {
+      return Status::InvalidArgument(
+          "packed rtree: node does not fit in a page; lower max_entries");
+    }
+    HDOV_RETURN_IF_ERROR(device->Write(node_page.at(index), payload));
+  }
+  return PackedRTree(device, node_page.at(tree.root_index()),
+                     dfs_order.size());
+}
+
+Status PackedRTree::ReadNode(PageId page, PackedNode* node) const {
+  std::string data;
+  HDOV_RETURN_IF_ERROR(device_->Read(page, &data));
+  Decoder decoder(data);
+  uint32_t is_leaf = 0;
+  uint32_t count = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&is_leaf));
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&count));
+  node->is_leaf = is_leaf != 0;
+  node->entries.clear();
+  node->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PackedEntry e;
+    HDOV_RETURN_IF_ERROR(decoder.DecodeDouble(&e.mbr.min.x));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeDouble(&e.mbr.min.y));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeDouble(&e.mbr.min.z));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeDouble(&e.mbr.max.x));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeDouble(&e.mbr.max.y));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeDouble(&e.mbr.max.z));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&e.payload));
+    node->entries.push_back(e);
+  }
+  return Status::OK();
+}
+
+Status PackedRTree::WindowQuery(const Aabb& window,
+                                std::vector<uint64_t>* results) const {
+  results->clear();
+  std::vector<PageId> stack = {root_page_};
+  PackedNode node;
+  while (!stack.empty()) {
+    PageId page = stack.back();
+    stack.pop_back();
+    HDOV_RETURN_IF_ERROR(ReadNode(page, &node));
+    for (const PackedEntry& e : node.entries) {
+      if (!e.mbr.Intersects(window)) {
+        continue;
+      }
+      if (node.is_leaf) {
+        results->push_back(e.payload);
+      } else {
+        stack.push_back(e.payload);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hdov

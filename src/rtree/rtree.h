@@ -1,0 +1,160 @@
+// RTree: a Guttman R-tree with the Ang–Tan linear split, used (a) as the
+// spatial backbone the HDoV-tree is built on and (b) as the index of the
+// REVIEW baseline walkthrough system.
+//
+// The tree is built in memory; PackedRTree serializes it onto a PageDevice
+// (one node per page, DFS order) for billed, disk-resident querying.
+
+#ifndef HDOV_RTREE_RTREE_H_
+#define HDOV_RTREE_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geometry/aabb.h"
+#include "storage/page_device.h"
+
+namespace hdov {
+
+enum class SplitAlgorithm : uint8_t {
+  kAngTanLinear = 0,  // SSD'97 linear split (the paper's choice).
+  kQuadratic = 1,     // Guttman's original quadratic split.
+};
+
+struct RTreeOptions {
+  // Maximum entries per node (fanout M). 32 entries of 56 bytes plus the
+  // header fit comfortably in a 4 KiB page.
+  size_t max_entries = 32;
+  // Minimum entries for non-root nodes (the R-tree `m`); must be
+  // <= max_entries / 2.
+  size_t min_entries = 13;
+  SplitAlgorithm split = SplitAlgorithm::kAngTanLinear;
+};
+
+class RTree {
+ public:
+  struct Entry {
+    Aabb mbr;
+    // Leaf: the object id. Internal: the child node index.
+    uint64_t payload = 0;
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    int level = 0;  // 0 at leaves, increasing toward the root.
+    std::vector<Entry> entries;
+
+    Aabb BoundingBox() const {
+      Aabb box;
+      for (const Entry& e : entries) {
+        box.Extend(e.mbr);
+      }
+      return box;
+    }
+  };
+
+  explicit RTree(const RTreeOptions& options = RTreeOptions());
+
+  // Sort-tile-recursive bulk loading: builds a packed tree over the given
+  // (mbr, object id) entries in one pass. Produces tighter, fuller nodes
+  // than repeated insertion; the resulting tree supports all the usual
+  // operations (including further inserts and deletes).
+  static Result<RTree> BulkLoad(
+      const std::vector<std::pair<Aabb, uint64_t>>& entries,
+      const RTreeOptions& options = RTreeOptions());
+
+  const RTreeOptions& options() const { return options_; }
+
+  Status Insert(const Aabb& mbr, uint64_t object_id);
+
+  // Removes the entry with exactly this (mbr, object_id); NotFound when
+  // absent. Underfull nodes are condensed and their entries reinserted
+  // (Guttman's CondenseTree).
+  Status Delete(const Aabb& mbr, uint64_t object_id);
+
+  // All object ids whose MBR intersects `window`.
+  void WindowQuery(const Aabb& window,
+                   std::vector<uint64_t>* results) const;
+
+  // Window query that also reports (mbr, id) pairs.
+  void WindowQueryEntries(const Aabb& window,
+                          std::vector<Entry>* results) const;
+
+  size_t size() const { return num_objects_; }
+  bool empty() const { return num_objects_ == 0; }
+  size_t num_nodes() const;
+  int height() const;  // 1 for a tree that is just a root leaf.
+
+  size_t root_index() const { return root_; }
+  const Node& node(size_t index) const { return nodes_[index]; }
+
+  // Depth-first, parents before children. Visitor gets (node_index, node).
+  void VisitDepthFirst(
+      const std::function<void(size_t, const Node&)>& visitor) const;
+
+  // Structural invariants (entry counts, MBR containment, level
+  // consistency); used by tests and debug builds.
+  Status CheckInvariants() const;
+
+ private:
+  size_t AllocateNode(bool is_leaf, int level);
+  size_t ChooseSubtree(size_t node_index, const Aabb& mbr, int target_level);
+  // Splits `node_index`, returning the new sibling's index.
+  size_t SplitNode(size_t node_index);
+  void InsertAtLevel(const Entry& entry, int target_level);
+  Aabb NodeBox(size_t node_index) const { return nodes_[node_index].BoundingBox(); }
+  void AdjustPathBoxes(const std::vector<size_t>& path);
+
+  RTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<size_t> free_nodes_;
+  size_t root_;
+  size_t num_objects_ = 0;
+};
+
+// PackedRTree: the on-disk image of an RTree. Node pages are laid out in
+// depth-first order so subtree scans tend to be sequential.
+class PackedRTree {
+ public:
+  // Serializes `tree` onto `device`. The tree must outlive nothing — the
+  // packed image is self-contained.
+  static Result<PackedRTree> Pack(const RTree& tree, PageDevice* device);
+
+  struct PackedEntry {
+    Aabb mbr;
+    uint64_t payload;  // Leaf: object id. Internal: child PageId.
+  };
+  struct PackedNode {
+    bool is_leaf = true;
+    std::vector<PackedEntry> entries;
+  };
+
+  PageId root_page() const { return root_page_; }
+  uint64_t num_node_pages() const { return num_node_pages_; }
+
+  // Reads and decodes one node (billed on the device).
+  Status ReadNode(PageId page, PackedNode* node) const;
+
+  // Disk-resident window query; returns object ids and counts node I/O on
+  // the device's stats.
+  Status WindowQuery(const Aabb& window, std::vector<uint64_t>* results) const;
+
+  static std::string SerializeNode(const RTree::Node& node,
+                                   const std::vector<PageId>& child_pages);
+
+ private:
+  PackedRTree(PageDevice* device, PageId root_page, uint64_t num_pages)
+      : device_(device), root_page_(root_page), num_node_pages_(num_pages) {}
+
+  PageDevice* device_;
+  PageId root_page_;
+  uint64_t num_node_pages_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_RTREE_RTREE_H_

@@ -1,0 +1,71 @@
+#include "scene/cell_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdov {
+
+Result<CellGrid> CellGrid::Build(const Aabb& world_bounds,
+                                 const CellGridOptions& options) {
+  if (options.cells_x <= 0 || options.cells_y <= 0) {
+    return Status::InvalidArgument("cell grid: dimensions must be positive");
+  }
+  if (world_bounds.IsEmpty()) {
+    return Status::InvalidArgument("cell grid: empty world bounds");
+  }
+  if (options.min_eye_height > options.max_eye_height) {
+    return Status::InvalidArgument("cell grid: inverted eye height range");
+  }
+  CellGrid grid;
+  grid.options_ = options;
+  grid.footprint_ = world_bounds;
+  grid.cell_w_ = (world_bounds.max.x - world_bounds.min.x) / options.cells_x;
+  grid.cell_h_ = (world_bounds.max.y - world_bounds.min.y) / options.cells_y;
+  if (grid.cell_w_ <= 0.0 || grid.cell_h_ <= 0.0) {
+    return Status::InvalidArgument("cell grid: degenerate world footprint");
+  }
+  return grid;
+}
+
+Aabb CellGrid::CellBounds(CellId id) const {
+  const int cx = static_cast<int>(id) % options_.cells_x;
+  const int cy = static_cast<int>(id) / options_.cells_x;
+  const double x0 = footprint_.min.x + cx * cell_w_;
+  const double y0 = footprint_.min.y + cy * cell_h_;
+  return Aabb(Vec3(x0, y0, options_.min_eye_height),
+              Vec3(x0 + cell_w_, y0 + cell_h_, options_.max_eye_height));
+}
+
+std::optional<CellId> CellGrid::CellForPoint(const Vec3& p) const {
+  if (p.x < footprint_.min.x || p.x > footprint_.max.x ||
+      p.y < footprint_.min.y || p.y > footprint_.max.y) {
+    return std::nullopt;
+  }
+  int cx = std::min(options_.cells_x - 1,
+                    static_cast<int>((p.x - footprint_.min.x) / cell_w_));
+  int cy = std::min(options_.cells_y - 1,
+                    static_cast<int>((p.y - footprint_.min.y) / cell_h_));
+  cx = std::max(0, cx);
+  cy = std::max(0, cy);
+  return static_cast<CellId>(cy * options_.cells_x + cx);
+}
+
+CellId CellGrid::ClampedCellForPoint(const Vec3& p) const {
+  Vec3 q = p;
+  q.x = std::clamp(q.x, footprint_.min.x, footprint_.max.x);
+  q.y = std::clamp(q.y, footprint_.min.y, footprint_.max.y);
+  return *CellForPoint(q);
+}
+
+std::vector<Vec3> CellGrid::SamplePoints(CellId id) const {
+  Aabb box = CellBounds(id);
+  std::vector<Vec3> points;
+  points.reserve(9);
+  for (int i = 0; i < 8; ++i) {
+    points.push_back(box.Corner(i));
+  }
+  points.push_back(box.Center());
+  return points;
+}
+
+}  // namespace hdov

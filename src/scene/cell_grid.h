@@ -1,0 +1,66 @@
+// CellGrid: the disjoint partitioning of the viewpoint space into viewing
+// cells (Section 3 of the paper). Cells tile the ground plane of the scene
+// at pedestrian eye heights; visibility (DoV) data is precomputed per cell
+// and the walkthrough flips cell context as the viewer crosses borders.
+
+#ifndef HDOV_SCENE_CELL_GRID_H_
+#define HDOV_SCENE_CELL_GRID_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/aabb.h"
+
+namespace hdov {
+
+using CellId = uint32_t;
+inline constexpr CellId kInvalidCell = ~static_cast<CellId>(0);
+
+struct CellGridOptions {
+  int cells_x = 16;
+  int cells_y = 16;
+  // Viewpoints live between these eye heights.
+  double min_eye_height = 1.2;
+  double max_eye_height = 2.2;
+};
+
+class CellGrid {
+ public:
+  // Tiles the xy-footprint of `world_bounds` with cells_x * cells_y cells.
+  static Result<CellGrid> Build(const Aabb& world_bounds,
+                                const CellGridOptions& options);
+
+  uint32_t num_cells() const {
+    return static_cast<uint32_t>(options_.cells_x * options_.cells_y);
+  }
+  const CellGridOptions& options() const { return options_; }
+
+  // The 3D box of viewpoints belonging to cell `id`.
+  Aabb CellBounds(CellId id) const;
+
+  // Cell containing `p` (xy decides; z is clamped into the eye range), or
+  // nullopt when `p` lies outside the grid footprint.
+  std::optional<CellId> CellForPoint(const Vec3& p) const;
+
+  // Like CellForPoint, but points outside the footprint are clamped to the
+  // nearest border cell (walkthrough paths may brush the world edge).
+  CellId ClampedCellForPoint(const Vec3& p) const;
+
+  // Representative viewpoints used to evaluate the conservative region DoV
+  // (Eq. 2: max over the cell): the 8 corners plus the center.
+  std::vector<Vec3> SamplePoints(CellId id) const;
+
+  Vec3 CellCenter(CellId id) const { return CellBounds(id).Center(); }
+
+ private:
+  CellGridOptions options_;
+  Aabb footprint_;   // xy extent covered by the grid.
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_SCENE_CELL_GRID_H_

@@ -1,0 +1,171 @@
+#include "scene/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mesh/primitives.h"
+
+namespace hdov {
+
+namespace {
+
+// Mirror of MakeBuilding's tessellation: per tier, four grid walls of
+// (nu x nv) quads plus a roof quad; 2 triangles per quad.
+uint32_t BuildingTriangleCount(int facade_columns, int facade_rows,
+                               int tiers) {
+  int nu = std::max(1, facade_columns);
+  int nv = std::max(1, facade_rows / std::max(1, tiers));
+  return static_cast<uint32_t>(tiers) *
+         static_cast<uint32_t>(4 * nu * nv * 2 + 2);
+}
+
+uint32_t BunnyTriangleCount(int subdivisions) {
+  uint32_t count = 20;
+  for (int i = 0; i < subdivisions; ++i) {
+    count *= 4;
+  }
+  return count;
+}
+
+struct BlockFrame {
+  double x0, y0;  // Lower corner of the block (buildable area).
+  double size;
+};
+
+}  // namespace
+
+Result<Scene> GenerateCity(const CityOptions& options) {
+  if (options.blocks_x <= 0 || options.blocks_y <= 0) {
+    return Status::InvalidArgument("city: block grid must be positive");
+  }
+  if (options.park_fraction < 0.0 || options.park_fraction > 1.0) {
+    return Status::InvalidArgument("city: park_fraction out of [0, 1]");
+  }
+
+  Scene scene;
+  Rng rng(options.seed);
+  const double pitch = options.block_size + options.street_width;
+  const double city_w = options.blocks_x * pitch - options.street_width;
+  const double city_h = options.blocks_y * pitch - options.street_width;
+  const Vec3 city_center(city_w / 2.0, city_h / 2.0, 0.0);
+  const double downtown_radius = 0.35 * std::max(city_w, city_h);
+
+  for (int by = 0; by < options.blocks_y; ++by) {
+    for (int bx = 0; bx < options.blocks_x; ++bx) {
+      BlockFrame block{bx * pitch, by * pitch, options.block_size};
+      const bool is_park = rng.Bernoulli(options.park_fraction);
+
+      if (is_park) {
+        int bunnies = rng.UniformInt(options.min_bunnies_per_park,
+                                     options.max_bunnies_per_park);
+        for (int i = 0; i < bunnies; ++i) {
+          double radius = rng.Uniform(3.0, 8.0);
+          Vec3 pos(block.x0 + rng.Uniform(radius, block.size - radius),
+                   block.y0 + rng.Uniform(radius, block.size - radius), 0.0);
+          Object obj;
+          obj.kind = ObjectKind::kBunny;
+          if (options.mode == GeometryMode::kFull) {
+            int subdiv = std::min(options.bunny_subdivisions, 4);
+            TriangleMesh mesh = MakeBunnyBlob(subdiv, radius, &rng);
+            mesh.Translate(pos);
+            obj.mbr = mesh.BoundingBox();
+            HDOV_ASSIGN_OR_RETURN(obj.lods,
+                                  LodChain::Build(mesh, options.lod));
+          } else {
+            // Advance the RNG identically to full mode's noise setup so
+            // both modes generate the same downstream layout.
+            for (int h = 0; h < 20; ++h) {
+              rng.NextUint64();
+            }
+            // Conservative bounds matching MakeBunnyBlob's displacement
+            // (x1.25), squash (y x0.8) and vertical stretch (z x1.1).
+            double r = radius * 1.25;
+            obj.mbr = Aabb(Vec3(pos.x - r, pos.y - 0.8 * r, 0.0),
+                           Vec3(pos.x + r, pos.y + 0.8 * r, 2.2 * r));
+            obj.lods = LodChain::Proxy(
+                BunnyTriangleCount(options.bunny_subdivisions), options.lod);
+          }
+          scene.AddObject(std::move(obj));
+        }
+        continue;
+      }
+
+      int buildings = rng.UniformInt(options.min_buildings_per_block,
+                                     options.max_buildings_per_block);
+      buildings = std::clamp(buildings, 1, 4);
+      for (int i = 0; i < buildings; ++i) {
+        // Up to four buildings per block, one per quadrant, jittered.
+        double half = block.size / 2.0;
+        double qx = block.x0 + (i % 2) * half;
+        double qy = block.y0 + (i / 2) * half;
+        double width = rng.Uniform(0.45, 0.8) * half;
+        double depth = rng.Uniform(0.45, 0.8) * half;
+        Vec3 pos(qx + half / 2.0 + rng.Uniform(-0.1, 0.1) * half,
+                 qy + half / 2.0 + rng.Uniform(-0.1, 0.1) * half, 0.0);
+
+        // Downtown effect: taller buildings near the city center.
+        double dist = (pos - city_center).Length();
+        double falloff = std::exp(-(dist * dist) /
+                                  (2.0 * downtown_radius * downtown_radius));
+        double height = options.min_building_height +
+                        (options.max_building_height -
+                         options.min_building_height) *
+                            falloff * rng.Uniform(0.5, 1.0);
+        int tiers = height > 0.6 * options.max_building_height ? 3
+                    : height > 0.3 * options.max_building_height ? 2
+                                                                 : 1;
+
+        Object obj;
+        obj.kind = ObjectKind::kBuilding;
+        if (options.mode == GeometryMode::kFull) {
+          BuildingOptions bopt;
+          bopt.width = width;
+          bopt.depth = depth;
+          bopt.height = height;
+          bopt.facade_columns = options.facade_columns;
+          bopt.facade_rows = options.facade_rows;
+          bopt.tiers = tiers;
+          TriangleMesh mesh = MakeBuilding(bopt);
+          mesh.Translate(pos);
+          obj.mbr = mesh.BoundingBox();
+          HDOV_ASSIGN_OR_RETURN(obj.lods, LodChain::Build(mesh, options.lod));
+        } else {
+          obj.mbr = Aabb(
+              Vec3(pos.x - width / 2.0, pos.y - depth / 2.0, 0.0),
+              Vec3(pos.x + width / 2.0, pos.y + depth / 2.0, height));
+          obj.lods = LodChain::Proxy(
+              BuildingTriangleCount(options.facade_columns,
+                                    options.facade_rows, tiers),
+              options.lod);
+        }
+        scene.AddObject(std::move(obj));
+      }
+    }
+  }
+  if (scene.size() == 0) {
+    return Status::Internal("city: generated an empty scene");
+  }
+  return scene;
+}
+
+CityOptions CityOptionsForTargetBytes(uint64_t target_bytes) {
+  CityOptions options;
+  options.mode = GeometryMode::kProxy;
+
+  // Probe a small city to estimate bytes per block, then scale the grid.
+  CityOptions probe = options;
+  probe.blocks_x = 6;
+  probe.blocks_y = 6;
+  Result<Scene> probe_scene = GenerateCity(probe);
+  double bytes_per_block =
+      probe_scene.ok()
+          ? static_cast<double>(probe_scene->TotalModelBytes()) / 36.0
+          : 1.0e6;
+  double blocks = static_cast<double>(target_bytes) / bytes_per_block;
+  int side = std::max(2, static_cast<int>(std::lround(std::sqrt(blocks))));
+  options.blocks_x = side;
+  options.blocks_y = side;
+  return options;
+}
+
+}  // namespace hdov

@@ -1,0 +1,42 @@
+#include "scene/object.h"
+
+#include <cstdio>
+
+namespace hdov {
+
+ObjectId Scene::AddObject(Object object) {
+  object.id = static_cast<ObjectId>(objects_.size());
+  bounds_.Extend(object.mbr);
+  objects_.push_back(std::move(object));
+  return objects_.back().id;
+}
+
+uint64_t Scene::TotalModelBytes() const {
+  uint64_t total = 0;
+  for (const Object& obj : objects_) {
+    total += obj.lods.total_bytes();
+  }
+  return total;
+}
+
+uint64_t Scene::TotalFinestTriangles() const {
+  uint64_t total = 0;
+  for (const Object& obj : objects_) {
+    if (!obj.lods.empty()) {
+      total += obj.lods.finest().triangle_count;
+    }
+  }
+  return total;
+}
+
+std::string Scene::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "scene: %zu objects, %.1f MB model data, %llu finest tris",
+                objects_.size(),
+                static_cast<double>(TotalModelBytes()) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(TotalFinestTriangles()));
+  return buf;
+}
+
+}  // namespace hdov

@@ -1,0 +1,102 @@
+#include "scene/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hdov {
+
+namespace {
+
+// Reflects `value` into [lo, hi] (bouncing walk off the world border).
+double Reflect(double value, double lo, double hi, double* direction_sign) {
+  if (value < lo) {
+    *direction_sign = -*direction_sign;
+    return lo + (lo - value);
+  }
+  if (value > hi) {
+    *direction_sign = -*direction_sign;
+    return hi - (value - hi);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string MotionPatternName(MotionPattern pattern) {
+  switch (pattern) {
+    case MotionPattern::kNormalWalk:
+      return "normal-walk";
+    case MotionPattern::kTurnLeftRight:
+      return "turn-left-right";
+    case MotionPattern::kBackForward:
+      return "back-forward";
+  }
+  return "unknown";
+}
+
+Session RecordSession(MotionPattern pattern, const Aabb& world_bounds,
+                      const SessionOptions& options) {
+  Session session;
+  session.name = MotionPatternName(pattern);
+  session.frames.reserve(options.num_frames);
+
+  Rng rng(options.seed + static_cast<uint64_t>(pattern) * 1000003ULL);
+  const double lo_x = world_bounds.min.x + options.margin;
+  const double hi_x = world_bounds.max.x - options.margin;
+  const double lo_y = world_bounds.min.y + options.margin;
+  const double hi_y = world_bounds.max.y - options.margin;
+
+  Vec3 pos(rng.Uniform(lo_x, hi_x), rng.Uniform(lo_y, hi_y),
+           options.eye_height);
+  double heading = rng.Uniform(0.0, 2.0 * M_PI);
+  double turn_rate = 0.0;
+  double forward_sign = 1.0;
+
+  for (size_t frame = 0; frame < options.num_frames; ++frame) {
+    switch (pattern) {
+      case MotionPattern::kNormalWalk:
+        // Smooth random turning: low-pass filtered noise on the heading.
+        turn_rate = 0.9 * turn_rate + 0.1 * rng.Uniform(-0.15, 0.15);
+        heading += turn_rate;
+        forward_sign = 1.0;
+        break;
+      case MotionPattern::kTurnLeftRight:
+        // Strong sinusoidal heading oscillation with slow forward drift.
+        heading += 0.12 * std::sin(frame * 0.15) +
+                   rng.Uniform(-0.02, 0.02);
+        forward_sign = 0.35;  // Slow advance while turning.
+        break;
+      case MotionPattern::kBackForward:
+        // Flip the direction of travel every ~40 frames.
+        if (frame % 40 == 0 && frame > 0) {
+          forward_sign = -forward_sign;
+        }
+        heading += rng.Uniform(-0.01, 0.01);
+        break;
+    }
+
+    Vec3 dir(std::cos(heading), std::sin(heading), 0.0);
+    pos += dir * (options.speed * forward_sign);
+    double sign_x = 1.0;
+    double sign_y = 1.0;
+    pos.x = Reflect(pos.x, lo_x, hi_x, &sign_x);
+    pos.y = Reflect(pos.y, lo_y, hi_y, &sign_y);
+    if (sign_x < 0.0 || sign_y < 0.0) {
+      // Bounced off a wall: turn around.
+      heading += M_PI * 0.5 + rng.Uniform(0.0, M_PI * 0.5);
+    }
+    pos.z = options.eye_height;
+
+    Viewpoint vp;
+    vp.position = pos;
+    // In the back-forward session the viewer keeps facing forward while
+    // stepping backwards (that is what makes it I/O-heavy in the paper).
+    vp.look = dir;
+    session.frames.push_back(vp);
+  }
+  return session;
+}
+
+}  // namespace hdov

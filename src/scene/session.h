@@ -1,0 +1,50 @@
+// Walkthrough sessions: recorded viewpoint paths that are played back on
+// each system under comparison, matching the paper's methodology ("we
+// recorded a few walkthrough sessions and played them back"). Three motion
+// patterns mirror Section 5.4: a normal walk, a turn-left-and-right walk,
+// and a back-and-forward walk.
+
+#ifndef HDOV_SCENE_SESSION_H_
+#define HDOV_SCENE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec3.h"
+
+namespace hdov {
+
+struct Viewpoint {
+  Vec3 position;
+  Vec3 look;  // Viewing direction (unit length).
+};
+
+struct Session {
+  std::string name;
+  std::vector<Viewpoint> frames;
+};
+
+enum class MotionPattern : uint8_t {
+  kNormalWalk = 0,    // Session 1: wandering walk with gentle turns.
+  kTurnLeftRight = 1, // Session 2: frequent left/right turning.
+  kBackForward = 2,   // Session 3: frequent back-and-forward movement.
+};
+
+struct SessionOptions {
+  size_t num_frames = 600;
+  double eye_height = 1.7;
+  double speed = 1.4;        // Meters per frame (brisk walk at ~1 m/frame).
+  double margin = 10.0;      // Keep this far inside the world footprint.
+  uint64_t seed = 7;
+};
+
+Session RecordSession(MotionPattern pattern, const Aabb& world_bounds,
+                      const SessionOptions& options);
+
+std::string MotionPatternName(MotionPattern pattern);
+
+}  // namespace hdov
+
+#endif  // HDOV_SCENE_SESSION_H_

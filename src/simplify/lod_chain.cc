@@ -1,0 +1,115 @@
+#include "simplify/lod_chain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdov {
+
+Result<LodChain> LodChain::Build(const TriangleMesh& mesh,
+                                 const LodChainOptions& options) {
+  if (options.ratios.empty()) {
+    return Status::InvalidArgument("lod chain: ratios must not be empty");
+  }
+  LodChain chain;
+  const auto total = static_cast<double>(mesh.triangle_count());
+  uint32_t previous_count = 0;
+  for (size_t i = 0; i < options.ratios.size(); ++i) {
+    const double ratio = options.ratios[i];
+    if (ratio <= 0.0 || ratio > 1.0) {
+      return Status::InvalidArgument("lod chain: ratio out of (0, 1]");
+    }
+    const auto target = static_cast<size_t>(
+        std::max<double>(options.min_triangles, std::ceil(total * ratio)));
+    LodLevel level;
+    if (i == 0 && ratio == 1.0) {
+      level.mesh = mesh;
+    } else {
+      SimplifyOptions simp = options.simplify;
+      simp.target_triangles = target;
+      HDOV_ASSIGN_OR_RETURN(level.mesh, Simplify(mesh, simp));
+    }
+    level.triangle_count = static_cast<uint32_t>(level.mesh.triangle_count());
+    level.byte_size = level.triangle_count * options.bytes_per_triangle;
+    // Skip levels that failed to get meaningfully coarser than their
+    // predecessor — duplicated levels waste storage and add no fidelity.
+    if (!chain.levels_.empty() &&
+        level.triangle_count >= previous_count) {
+      continue;
+    }
+    previous_count = level.triangle_count;
+    chain.levels_.push_back(std::move(level));
+  }
+  if (chain.levels_.empty()) {
+    return Status::Internal("lod chain: produced no levels");
+  }
+  return chain;
+}
+
+LodChain LodChain::Proxy(uint32_t finest_triangles,
+                         const LodChainOptions& options) {
+  LodChain chain;
+  uint32_t previous_count = 0;
+  for (size_t i = 0; i < options.ratios.size(); ++i) {
+    auto count = static_cast<uint32_t>(std::max<double>(
+        options.min_triangles,
+        std::ceil(finest_triangles * options.ratios[i])));
+    if (!chain.levels_.empty() && count >= previous_count) {
+      continue;
+    }
+    LodLevel level;
+    level.triangle_count = count;
+    level.byte_size = count * options.bytes_per_triangle;
+    previous_count = count;
+    chain.levels_.push_back(std::move(level));
+  }
+  if (chain.levels_.empty()) {
+    LodLevel level;
+    level.triangle_count = std::max(options.min_triangles, finest_triangles);
+    level.byte_size = level.triangle_count * options.bytes_per_triangle;
+    chain.levels_.push_back(std::move(level));
+  }
+  return chain;
+}
+
+Result<LodChain> LodChain::FromLevels(std::vector<LodLevel> levels) {
+  if (levels.empty()) {
+    return Status::InvalidArgument("lod chain: no levels");
+  }
+  for (size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i].triangle_count >= levels[i - 1].triangle_count) {
+      return Status::InvalidArgument(
+          "lod chain: levels must be strictly decreasing");
+    }
+  }
+  LodChain chain;
+  chain.levels_ = std::move(levels);
+  return chain;
+}
+
+uint64_t LodChain::total_bytes() const {
+  uint64_t total = 0;
+  for (const LodLevel& level : levels_) {
+    total += level.byte_size;
+  }
+  return total;
+}
+
+size_t LodChain::LevelForBlend(double k) const {
+  k = std::clamp(k, 0.0, 1.0);
+  const double finest_count = finest().triangle_count;
+  const double coarsest_count = coarsest().triangle_count;
+  const double budget = k * finest_count + (1.0 - k) * coarsest_count;
+  size_t best = 0;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    double gap = std::fabs(static_cast<double>(levels_[i].triangle_count) -
+                           budget);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace hdov

@@ -1,0 +1,88 @@
+// LodChain: the multi-resolution pyramid of a model (object LoDs) or of a
+// node aggregate (internal LoDs). Level 0 is the finest representation.
+//
+// The chain exists in two modes:
+//  - full: each level carries a real simplified TriangleMesh;
+//  - proxy: only triangle counts and logical byte sizes are kept, which
+//    lets scalability experiments reach the paper's multi-GB dataset sizes
+//    without materializing geometry.
+
+#ifndef HDOV_SIMPLIFY_LOD_CHAIN_H_
+#define HDOV_SIMPLIFY_LOD_CHAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "mesh/triangle_mesh.h"
+#include "simplify/simplifier.h"
+
+namespace hdov {
+
+struct LodLevel {
+  TriangleMesh mesh;        // Empty in proxy mode.
+  uint32_t triangle_count = 0;
+  uint64_t byte_size = 0;   // Logical on-disk size of this representation.
+};
+
+struct LodChainOptions {
+  // Triangle-count fractions of the input, finest first. The first entry is
+  // normally 1.0 (keep the original as the highest LoD).
+  std::vector<double> ratios = {1.0, 0.4, 0.15, 0.05};
+
+  // Logical bytes per triangle: ~3 corners x (position + normal + uv +
+  // color) in a typical interleaved vertex layout. This scales the logical
+  // dataset size the storage layer bills for.
+  uint64_t bytes_per_triangle = 224;
+
+  // Never simplify below this many triangles (keeps LoDs renderable).
+  uint32_t min_triangles = 16;
+
+  SimplifyOptions simplify;
+};
+
+class LodChain {
+ public:
+  LodChain() = default;
+
+  // Builds a full chain by repeated QEM simplification of `mesh`.
+  static Result<LodChain> Build(const TriangleMesh& mesh,
+                                const LodChainOptions& options);
+
+  // Builds a proxy chain (counts and sizes only) for an object whose finest
+  // representation would have `finest_triangles` triangles.
+  static LodChain Proxy(uint32_t finest_triangles,
+                        const LodChainOptions& options);
+
+  // Reassembles a chain from explicit levels (finest first) — used when
+  // deserializing trees from disk. Levels must have strictly decreasing
+  // triangle counts.
+  static Result<LodChain> FromLevels(std::vector<LodLevel> levels);
+
+  size_t num_levels() const { return levels_.size(); }
+  bool empty() const { return levels_.empty(); }
+  bool is_proxy() const {
+    return !levels_.empty() && levels_.front().mesh.empty();
+  }
+
+  // i = 0 is the finest level; i = num_levels() - 1 the coarsest.
+  const LodLevel& level(size_t i) const { return levels_[i]; }
+  const LodLevel& finest() const { return levels_.front(); }
+  const LodLevel& coarsest() const { return levels_.back(); }
+
+  uint64_t total_bytes() const;
+
+  // Resolves the paper's LoD interpolation (Eqs. 5 and 6): given blend
+  // factor k in [0, 1], the target polygon budget is
+  //   k * npoly(finest) + (1 - k) * npoly(coarsest),
+  // and the returned index is the level whose count is nearest that budget
+  // (k = 1 -> finest level, k = 0 -> coarsest).
+  size_t LevelForBlend(double k) const;
+
+ private:
+  std::vector<LodLevel> levels_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_SIMPLIFY_LOD_CHAIN_H_

@@ -1,0 +1,86 @@
+#include "simplify/quadric.h"
+
+#include <cmath>
+
+#include "geometry/intersect.h"
+
+namespace hdov {
+
+Quadric Quadric::FromPlane(const Vec3& n, double d, double weight) {
+  Quadric q;
+  const double a = n.x, b = n.y, c = n.z;
+  q.c_[0] = weight * a * a;
+  q.c_[1] = weight * a * b;
+  q.c_[2] = weight * a * c;
+  q.c_[3] = weight * a * d;
+  q.c_[4] = weight * b * b;
+  q.c_[5] = weight * b * c;
+  q.c_[6] = weight * b * d;
+  q.c_[7] = weight * c * c;
+  q.c_[8] = weight * c * d;
+  q.c_[9] = weight * d * d;
+  return q;
+}
+
+Quadric Quadric::FromTriangle(const Vec3& a, const Vec3& b, const Vec3& c) {
+  Vec3 n = (b - a).Cross(c - a);
+  const double double_area = n.Length();
+  if (double_area < 1e-30) {
+    return Quadric();
+  }
+  n = n / double_area;
+  const double d = -n.Dot(a);
+  return FromPlane(n, d, 0.5 * double_area);
+}
+
+Quadric& Quadric::operator+=(const Quadric& o) {
+  for (size_t i = 0; i < c_.size(); ++i) {
+    c_[i] += o.c_[i];
+  }
+  return *this;
+}
+
+double Quadric::Error(const Vec3& v) const {
+  const double x = v.x, y = v.y, z = v.z;
+  double e = c_[0] * x * x + 2.0 * c_[1] * x * y + 2.0 * c_[2] * x * z +
+             2.0 * c_[3] * x + c_[4] * y * y + 2.0 * c_[5] * y * z +
+             2.0 * c_[6] * y + c_[7] * z * z + 2.0 * c_[8] * z + c_[9];
+  return e > 0.0 ? e : 0.0;
+}
+
+std::optional<Vec3> Quadric::OptimalPoint() const {
+  // Solve [A | -b] where A is the upper-left 3x3 block and b the last column.
+  const double a11 = c_[0], a12 = c_[1], a13 = c_[2], b1 = c_[3];
+  const double a22 = c_[4], a23 = c_[5], b2 = c_[6];
+  const double a33 = c_[7], b3 = c_[8];
+
+  const double det = a11 * (a22 * a33 - a23 * a23) -
+                     a12 * (a12 * a33 - a23 * a13) +
+                     a13 * (a12 * a23 - a22 * a13);
+  // Relative conditioning guard: a flat quadric (all planes parallel) has a
+  // (near-)singular A, in which case the caller falls back to endpoints.
+  const double scale = std::fabs(a11) + std::fabs(a22) + std::fabs(a33);
+  if (std::fabs(det) < 1e-12 * scale * scale * scale + 1e-300) {
+    return std::nullopt;
+  }
+  const double inv_det = 1.0 / det;
+  // Cramer's rule for A x = -b.
+  const double rx = -(b1 * (a22 * a33 - a23 * a23) -
+                      a12 * (b2 * a33 - a23 * b3) +
+                      a13 * (b2 * a23 - a22 * b3)) *
+                    inv_det;
+  const double ry = -(a11 * (b2 * a33 - b3 * a23) -
+                      b1 * (a12 * a33 - a23 * a13) +
+                      a13 * (a12 * b3 - b2 * a13)) *
+                    inv_det;
+  const double rz = -(a11 * (a22 * b3 - a23 * b2) -
+                      a12 * (a12 * b3 - b2 * a13) +
+                      b1 * (a12 * a23 - a22 * a13)) *
+                    inv_det;
+  if (!std::isfinite(rx) || !std::isfinite(ry) || !std::isfinite(rz)) {
+    return std::nullopt;
+  }
+  return Vec3(rx, ry, rz);
+}
+
+}  // namespace hdov

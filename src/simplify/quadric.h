@@ -1,0 +1,50 @@
+// Quadric: the symmetric 4x4 error quadric of Garland & Heckbert
+// ("Surface Simplification Using Quadric Error Metrics", SIGGRAPH 97) —
+// the algorithm behind qslim, which the paper uses to build internal LoDs.
+//
+// A quadric Q represents the sum of squared distances to a set of planes;
+// Error(v) = v^T Q v for homogeneous v = (x, y, z, 1).
+
+#ifndef HDOV_SIMPLIFY_QUADRIC_H_
+#define HDOV_SIMPLIFY_QUADRIC_H_
+
+#include <array>
+#include <optional>
+
+#include "geometry/vec3.h"
+
+namespace hdov {
+
+class Quadric {
+ public:
+  Quadric() = default;
+
+  // Quadric of the plane n·p + d = 0 (n unit length), optionally weighted
+  // (area weighting makes the metric scale-aware).
+  static Quadric FromPlane(const Vec3& n, double d, double weight = 1.0);
+
+  // Quadric of the supporting plane of triangle (a, b, c), weighted by the
+  // triangle's area. Degenerate triangles contribute the zero quadric.
+  static Quadric FromTriangle(const Vec3& a, const Vec3& b, const Vec3& c);
+
+  Quadric& operator+=(const Quadric& o);
+  friend Quadric operator+(Quadric a, const Quadric& b) { return a += b; }
+
+  // v^T Q v; clamped at 0 to absorb tiny negative values from rounding.
+  double Error(const Vec3& v) const;
+
+  // The point minimizing the error, when the 3x3 system is well
+  // conditioned; nullopt for flat/degenerate quadrics.
+  std::optional<Vec3> OptimalPoint() const;
+
+  // Coefficients in row-major upper-triangle order:
+  // [a11 a12 a13 a14 a22 a23 a24 a33 a34 a44].
+  const std::array<double, 10>& coefficients() const { return c_; }
+
+ private:
+  std::array<double, 10> c_{};  // Zero-initialized: the additive identity.
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_SIMPLIFY_QUADRIC_H_

@@ -1,0 +1,370 @@
+#include "simplify/simplifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "simplify/quadric.h"
+
+namespace hdov {
+
+namespace {
+
+struct EdgeCandidate {
+  double cost;
+  uint32_t v0;
+  uint32_t v1;
+  Vec3 target;
+  uint64_t version;  // Sum of both endpoint versions at push time.
+
+  bool operator<(const EdgeCandidate& o) const {
+    return cost > o.cost;  // Min-heap via priority_queue.
+  }
+};
+
+uint64_t EdgeKey(uint32_t a, uint32_t b) {
+  if (a > b) {
+    std::swap(a, b);
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Working state for one simplification run.
+class Simplifier {
+ public:
+  Simplifier(const TriangleMesh& mesh, const SimplifyOptions& options)
+      : options_(options),
+        positions_(mesh.vertices()),
+        quadrics_(mesh.vertex_count()),
+        versions_(mesh.vertex_count(), 0),
+        vertex_alive_(mesh.vertex_count(), true) {
+    tris_.reserve(mesh.triangle_count());
+    for (const Triangle& t : mesh.triangles()) {
+      tris_.push_back(t);
+    }
+    tri_alive_.assign(tris_.size(), true);
+    adjacency_.resize(positions_.size());
+    for (size_t t = 0; t < tris_.size(); ++t) {
+      for (uint32_t v : tris_[t].v) {
+        adjacency_[v].push_back(static_cast<uint32_t>(t));
+      }
+    }
+    alive_triangles_ = tris_.size();
+  }
+
+  TriangleMesh Run() {
+    AccumulateQuadrics();
+    SeedQueue();
+    while (alive_triangles_ > options_.target_triangles && !queue_.empty()) {
+      EdgeCandidate cand = queue_.top();
+      queue_.pop();
+      if (!IsCurrent(cand)) {
+        continue;
+      }
+      if (cand.cost > options_.max_error) {
+        break;
+      }
+      if (options_.prevent_flips && WouldFlip(cand)) {
+        // Penalize and retry later rather than discarding outright: the
+        // neighborhood may open up after other collapses.
+        if (rejections_[EdgeKey(cand.v0, cand.v1)]++ < 3) {
+          cand.cost = cand.cost * 4.0 + 1e-12;
+          queue_.push(cand);
+        }
+        continue;
+      }
+      Collapse(cand);
+    }
+    return BuildResult();
+  }
+
+ private:
+  void AccumulateQuadrics() {
+    for (size_t t = 0; t < tris_.size(); ++t) {
+      auto [a, b, c] = TriVerts(t);
+      Quadric q = Quadric::FromTriangle(a, b, c);
+      for (uint32_t v : tris_[t].v) {
+        quadrics_[v] += q;
+      }
+    }
+    if (options_.boundary_weight > 0.0) {
+      AddBoundaryConstraints();
+    }
+  }
+
+  // An edge is a boundary edge when exactly one alive triangle uses it.
+  // Each boundary edge contributes a constraint plane perpendicular to its
+  // triangle, which penalizes collapses that erode the boundary.
+  void AddBoundaryConstraints() {
+    std::unordered_map<uint64_t, int> edge_use;
+    std::unordered_map<uint64_t, uint32_t> edge_tri;
+    for (size_t t = 0; t < tris_.size(); ++t) {
+      const Triangle& tri = tris_[t];
+      for (int e = 0; e < 3; ++e) {
+        uint64_t key = EdgeKey(tri.v[e], tri.v[(e + 1) % 3]);
+        edge_use[key]++;
+        edge_tri[key] = static_cast<uint32_t>(t);
+      }
+    }
+    for (const auto& [key, count] : edge_use) {
+      if (count != 1) {
+        continue;
+      }
+      uint32_t va = static_cast<uint32_t>(key >> 32);
+      uint32_t vb = static_cast<uint32_t>(key & 0xffffffffu);
+      const Vec3& a = positions_[va];
+      const Vec3& b = positions_[vb];
+      size_t t = edge_tri[key];
+      auto [ta, tb, tc] = TriVerts(t);
+      Vec3 face_n = (tb - ta).Cross(tc - ta).Normalized();
+      Vec3 edge_dir = (b - a).Normalized();
+      Vec3 constraint_n = edge_dir.Cross(face_n).Normalized();
+      if (constraint_n.LengthSquared() < 0.5) {
+        continue;  // Degenerate face or edge.
+      }
+      double edge_len = (b - a).Length();
+      Quadric q = Quadric::FromPlane(constraint_n, -constraint_n.Dot(a),
+                                     options_.boundary_weight * edge_len);
+      quadrics_[va] += q;
+      quadrics_[vb] += q;
+    }
+  }
+
+  void SeedQueue() {
+    std::unordered_set<uint64_t> seen;
+    for (const Triangle& tri : tris_) {
+      for (int e = 0; e < 3; ++e) {
+        uint32_t a = tri.v[e];
+        uint32_t b = tri.v[(e + 1) % 3];
+        if (seen.insert(EdgeKey(a, b)).second) {
+          PushCandidate(a, b);
+        }
+      }
+    }
+  }
+
+  void PushCandidate(uint32_t a, uint32_t b) {
+    Quadric q = quadrics_[a] + quadrics_[b];
+    Vec3 target;
+    if (auto opt = q.OptimalPoint(); opt.has_value()) {
+      target = *opt;
+    } else {
+      // Fall back to the cheapest of the endpoints and the midpoint.
+      Vec3 mid = (positions_[a] + positions_[b]) * 0.5;
+      target = positions_[a];
+      double best = q.Error(target);
+      if (double e = q.Error(positions_[b]); e < best) {
+        best = e;
+        target = positions_[b];
+      }
+      if (double e = q.Error(mid); e < best) {
+        target = mid;
+      }
+    }
+    queue_.push(EdgeCandidate{q.Error(target), a, b, target,
+                              versions_[a] + versions_[b]});
+  }
+
+  bool IsCurrent(const EdgeCandidate& cand) const {
+    return vertex_alive_[cand.v0] && vertex_alive_[cand.v1] &&
+           versions_[cand.v0] + versions_[cand.v1] == cand.version;
+  }
+
+  std::array<Vec3, 3> TriVerts(size_t t) const {
+    const Triangle& tri = tris_[t];
+    return {positions_[tri.v[0]], positions_[tri.v[1]], positions_[tri.v[2]]};
+  }
+
+  // True if moving v0 or v1 to `target` would flip any surviving triangle.
+  bool WouldFlip(const EdgeCandidate& cand) const {
+    for (uint32_t v : {cand.v0, cand.v1}) {
+      for (uint32_t t : adjacency_[v]) {
+        if (!tri_alive_[t]) {
+          continue;
+        }
+        const Triangle& tri = tris_[t];
+        bool has_v0 = tri.v[0] == cand.v0 || tri.v[1] == cand.v0 ||
+                      tri.v[2] == cand.v0;
+        bool has_v1 = tri.v[0] == cand.v1 || tri.v[1] == cand.v1 ||
+                      tri.v[2] == cand.v1;
+        if (has_v0 && has_v1) {
+          continue;  // Triangle collapses away; not a flip.
+        }
+        Vec3 p[3];
+        Vec3 q[3];
+        for (int i = 0; i < 3; ++i) {
+          p[i] = positions_[tri.v[i]];
+          q[i] = (tri.v[i] == cand.v0 || tri.v[i] == cand.v1) ? cand.target
+                                                              : p[i];
+        }
+        Vec3 n_before = (p[1] - p[0]).Cross(p[2] - p[0]);
+        Vec3 n_after = (q[1] - q[0]).Cross(q[2] - q[0]);
+        if (n_before.Dot(n_after) < 1e-12 * n_before.LengthSquared()) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void Collapse(const EdgeCandidate& cand) {
+    const uint32_t keep = cand.v0;
+    const uint32_t gone = cand.v1;
+    positions_[keep] = cand.target;
+    quadrics_[keep] += quadrics_[gone];
+    vertex_alive_[gone] = false;
+    ++versions_[keep];
+    ++versions_[gone];
+
+    // Retarget triangles of `gone`; kill those that contained both ends.
+    for (uint32_t t : adjacency_[gone]) {
+      if (!tri_alive_[t]) {
+        continue;
+      }
+      Triangle& tri = tris_[t];
+      bool shares_keep = tri.v[0] == keep || tri.v[1] == keep ||
+                         tri.v[2] == keep;
+      if (shares_keep) {
+        tri_alive_[t] = false;
+        --alive_triangles_;
+        continue;
+      }
+      for (uint32_t& v : tri.v) {
+        if (v == gone) {
+          v = keep;
+        }
+      }
+      adjacency_[keep].push_back(t);
+    }
+    adjacency_[gone].clear();
+    PruneAdjacency(keep);
+
+    // Refresh candidates around the surviving vertex.
+    std::unordered_set<uint32_t> neighbors;
+    for (uint32_t t : adjacency_[keep]) {
+      if (!tri_alive_[t]) {
+        continue;
+      }
+      for (uint32_t v : tris_[t].v) {
+        if (v != keep && vertex_alive_[v]) {
+          neighbors.insert(v);
+        }
+      }
+    }
+    for (uint32_t n : neighbors) {
+      PushCandidate(keep, n);
+    }
+  }
+
+  void PruneAdjacency(uint32_t v) {
+    auto& list = adjacency_[v];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](uint32_t t) { return !tri_alive_[t]; }),
+               list.end());
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  TriangleMesh BuildResult() const {
+    TriangleMesh out;
+    std::vector<uint32_t> remap(positions_.size(),
+                                std::numeric_limits<uint32_t>::max());
+    for (size_t t = 0; t < tris_.size(); ++t) {
+      if (!tri_alive_[t]) {
+        continue;
+      }
+      const Triangle& tri = tris_[t];
+      uint32_t mapped[3];
+      for (int i = 0; i < 3; ++i) {
+        uint32_t v = tri.v[i];
+        if (remap[v] == std::numeric_limits<uint32_t>::max()) {
+          remap[v] = out.AddVertex(positions_[v]);
+        }
+        mapped[i] = remap[v];
+      }
+      if (mapped[0] != mapped[1] && mapped[1] != mapped[2] &&
+          mapped[0] != mapped[2]) {
+        out.AddTriangle(mapped[0], mapped[1], mapped[2]);
+      }
+    }
+    return out;
+  }
+
+  const SimplifyOptions& options_;
+  std::vector<Vec3> positions_;
+  std::vector<Triangle> tris_;
+  std::vector<bool> tri_alive_;
+  std::vector<Quadric> quadrics_;
+  std::vector<uint64_t> versions_;
+  std::vector<bool> vertex_alive_;
+  std::vector<std::vector<uint32_t>> adjacency_;
+  std::priority_queue<EdgeCandidate> queue_;
+  std::unordered_map<uint64_t, int> rejections_;
+  size_t alive_triangles_ = 0;
+};
+
+}  // namespace
+
+TriangleMesh WeldVertices(const TriangleMesh& input, double epsilon) {
+  // Quantize to a grid of `epsilon` cells; vertices mapping to the same
+  // cell merge. This is deterministic and O(n) in expectation.
+  const double inv_eps = 1.0 / std::max(epsilon, 1e-30);
+  struct CellHash {
+    size_t operator()(const std::array<int64_t, 3>& c) const {
+      uint64_t h = 1469598103934665603ULL;
+      for (int64_t v : c) {
+        h = (h ^ static_cast<uint64_t>(v)) * 1099511628211ULL;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+  std::unordered_map<std::array<int64_t, 3>, uint32_t, CellHash> cells;
+  std::vector<uint32_t> remap(input.vertex_count());
+  TriangleMesh out;
+  for (size_t i = 0; i < input.vertex_count(); ++i) {
+    const Vec3& p = input.vertices()[i];
+    std::array<int64_t, 3> cell = {
+        static_cast<int64_t>(std::llround(p.x * inv_eps)),
+        static_cast<int64_t>(std::llround(p.y * inv_eps)),
+        static_cast<int64_t>(std::llround(p.z * inv_eps))};
+    auto [it, inserted] = cells.try_emplace(cell, 0);
+    if (inserted) {
+      it->second = out.AddVertex(p);
+    }
+    remap[i] = it->second;
+  }
+  for (const Triangle& tri : input.triangles()) {
+    uint32_t a = remap[tri.v[0]];
+    uint32_t b = remap[tri.v[1]];
+    uint32_t c = remap[tri.v[2]];
+    if (a != b && b != c && a != c) {
+      out.AddTriangle(a, b, c);
+    }
+  }
+  return out;
+}
+
+Result<TriangleMesh> Simplify(const TriangleMesh& input,
+                              const SimplifyOptions& options) {
+  Status valid = input.Validate();
+  if (!valid.ok()) {
+    return Status::InvalidArgument("simplify: invalid input mesh: " +
+                                   std::string(valid.message()));
+  }
+  if (input.triangle_count() <= options.target_triangles) {
+    return input;  // Nothing to do.
+  }
+  TriangleMesh working = options.weld_vertices
+                             ? WeldVertices(input, options.weld_epsilon)
+                             : input;
+  Simplifier simplifier(working, options);
+  TriangleMesh out = simplifier.Run();
+  HDOV_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace hdov

@@ -1,0 +1,49 @@
+// Edge-collapse mesh simplification driven by quadric error metrics — a
+// from-scratch implementation of the qslim algorithm (Garland & Heckbert,
+// SIGGRAPH 97) that the paper uses to generate object and internal LoDs.
+
+#ifndef HDOV_SIMPLIFY_SIMPLIFIER_H_
+#define HDOV_SIMPLIFY_SIMPLIFIER_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "common/result.h"
+#include "mesh/triangle_mesh.h"
+
+namespace hdov {
+
+struct SimplifyOptions {
+  // Stop once at most this many triangles remain.
+  size_t target_triangles = 0;
+
+  // Stop early when the cheapest remaining collapse would cost more than
+  // this (squared-distance units). Infinity = never stop early.
+  double max_error = std::numeric_limits<double>::infinity();
+
+  // Merge coincident vertices before simplifying. Procedurally generated
+  // meshes (and many exported models) duplicate vertices along seams; the
+  // collapse graph needs them merged to cross those seams.
+  bool weld_vertices = true;
+  double weld_epsilon = 1e-6;
+
+  // Penalize moving boundary edges by adding perpendicular constraint
+  // planes (standard qslim boundary handling).
+  double boundary_weight = 100.0;
+
+  // Reject collapses that flip a surviving triangle's normal.
+  bool prevent_flips = true;
+};
+
+// Returns the simplified mesh. The input is never modified. Fails with
+// InvalidArgument for malformed meshes.
+Result<TriangleMesh> Simplify(const TriangleMesh& input,
+                              const SimplifyOptions& options);
+
+// Merges vertices closer than `epsilon` (grid hashing; deterministic) and
+// drops triangles that become degenerate.
+TriangleMesh WeldVertices(const TriangleMesh& input, double epsilon);
+
+}  // namespace hdov
+
+#endif  // HDOV_SIMPLIFY_SIMPLIFIER_H_

@@ -1,0 +1,37 @@
+#include "storage/buffer_pool.h"
+
+namespace hdov {
+
+Result<const std::string*> BufferPool::Get(PageId page) {
+  auto it = entries_.find(page);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second->lru_it);
+    lru_.push_front(page);
+    it->second->lru_it = lru_.begin();
+    return static_cast<const std::string*>(&it->second->data);
+  }
+
+  ++stats_.misses;
+  auto entry = std::make_unique<Entry>();
+  HDOV_RETURN_IF_ERROR(device_->Read(page, &entry->data));
+
+  while (entries_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(page);
+  entry->lru_it = lru_.begin();
+  const std::string* data = &entry->data;
+  entries_.emplace(page, std::move(entry));
+  return data;
+}
+
+void BufferPool::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace hdov

@@ -1,0 +1,65 @@
+// BufferPool: an LRU page cache in front of a PageDevice. The walkthrough
+// systems read index pages through the pool; hit pages cost no simulated
+// I/O. Capacity is in pages.
+
+#ifndef HDOV_STORAGE_BUFFER_POOL_H_
+#define HDOV_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/page_device.h"
+
+namespace hdov {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class BufferPool {
+ public:
+  BufferPool(PageDevice* device, size_t capacity_pages)
+      : device_(device), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns the page contents, reading through on a miss. The returned
+  // pointer stays valid until the entry is evicted or the pool destroyed;
+  // callers must not hold it across further Get calls (copy if needed).
+  Result<const std::string*> Get(PageId page);
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  struct Entry {
+    std::string data;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  PageDevice* device_;
+  size_t capacity_;
+  BufferPoolStats stats_;
+  std::list<PageId> lru_;  // Front = most recently used.
+  std::unordered_map<PageId, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,53 @@
+// IoStats: counters accumulated by the simulated disk. The experiment
+// harness reports these (page I/Os, seeks) and the simulated elapsed time
+// derived from them, mirroring the paper's "number of disk I/Os" and
+// "search time" metrics.
+
+#ifndef HDOV_STORAGE_IO_STATS_H_
+#define HDOV_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hdov {
+
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  // A seek is charged whenever a read/write does not continue the previous
+  // access sequentially. Sequential continuation pays transfer cost only.
+  uint64_t seeks = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  IoStats& operator+=(const IoStats& o) {
+    page_reads += o.page_reads;
+    page_writes += o.page_writes;
+    seeks += o.seeks;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+
+  IoStats Delta(const IoStats& earlier) const {
+    IoStats d;
+    d.page_reads = page_reads - earlier.page_reads;
+    d.page_writes = page_writes - earlier.page_writes;
+    d.seeks = seeks - earlier.seeks;
+    d.bytes_read = bytes_read - earlier.bytes_read;
+    d.bytes_written = bytes_written - earlier.bytes_written;
+    return d;
+  }
+
+  uint64_t total_page_ios() const { return page_reads + page_writes; }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(page_reads) +
+           " writes=" + std::to_string(page_writes) +
+           " seeks=" + std::to_string(seeks);
+  }
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_STORAGE_IO_STATS_H_

@@ -1,0 +1,27 @@
+#include "storage/model_store.h"
+
+namespace hdov {
+
+ModelId ModelStore::Register(uint64_t bytes) {
+  ModelExtent extent;
+  extent.bytes = bytes;
+  const uint32_t page_size = device_->page_size();
+  extent.page_count = (bytes + page_size - 1) / page_size;
+  if (extent.page_count == 0) {
+    extent.page_count = 1;
+  }
+  extent.first_page = device_->AllocateUnmaterialized(extent.page_count);
+  total_bytes_ += bytes;
+  extents_.push_back(extent);
+  return static_cast<ModelId>(extents_.size() - 1);
+}
+
+Status ModelStore::Fetch(ModelId id) {
+  if (id >= extents_.size()) {
+    return Status::OutOfRange("model store: unknown model id");
+  }
+  const ModelExtent& extent = extents_[id];
+  return device_->ReadRun(extent.first_page, extent.page_count, nullptr);
+}
+
+}  // namespace hdov

@@ -1,0 +1,57 @@
+// ModelStore: the heavy-weight model data file. Each LoD representation
+// (object LoD or node internal LoD) occupies a contiguous unmaterialized
+// extent; "fetching" a representation bills the simulated disk for one
+// seek plus its pages, exactly how the paper accounts for retrieving the
+// "heavy-weighted model data".
+
+#ifndef HDOV_STORAGE_MODEL_STORE_H_
+#define HDOV_STORAGE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_device.h"
+
+namespace hdov {
+
+using ModelId = uint32_t;
+inline constexpr ModelId kInvalidModel = ~static_cast<ModelId>(0);
+
+class ModelStore {
+ public:
+  explicit ModelStore(PageDevice* device) : device_(device) {}
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  // Registers a representation of `bytes` logical size and returns its id.
+  ModelId Register(uint64_t bytes);
+
+  // Simulates reading the representation from disk (billed, no contents).
+  Status Fetch(ModelId id);
+
+  uint64_t SizeOf(ModelId id) const { return extents_[id].bytes; }
+  uint64_t PagesOf(ModelId id) const { return extents_[id].page_count; }
+  size_t num_models() const { return extents_.size(); }
+
+  // Total logical bytes registered — the "raw dataset" size.
+  uint64_t total_bytes() const { return total_bytes_; }
+
+  PageDevice* device() const { return device_; }
+
+ private:
+  struct ModelExtent {
+    PageId first_page = kInvalidPage;
+    uint64_t page_count = 0;
+    uint64_t bytes = 0;
+  };
+
+  PageDevice* device_;
+  std::vector<ModelExtent> extents_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_STORAGE_MODEL_STORE_H_

@@ -1,0 +1,164 @@
+#include "storage/page_device.h"
+
+#include <fstream>
+
+#include "common/coding.h"
+
+namespace hdov {
+
+namespace {
+constexpr uint32_t kDeviceMagic = 0x76644856;  // Bytes "VHdv" on disk.
+}  // namespace
+
+PageDevice::PageDevice(const DiskModel& model, SimClock* clock)
+    : model_(model), clock_(clock != nullptr ? clock : &own_clock_) {}
+
+PageId PageDevice::Allocate() {
+  pages_.emplace_back();
+  pages_.back().resize(model_.page_size, '\0');
+  return pages_.size() - 1;
+}
+
+PageId PageDevice::AllocateUnmaterialized(uint64_t count) {
+  PageId first = pages_.size();
+  pages_.resize(pages_.size() + count);  // Empty strings: unmaterialized.
+  return first;
+}
+
+Status PageDevice::Write(PageId page, std::string_view data) {
+  if (page >= pages_.size()) {
+    return Status::OutOfRange("page device: write past end");
+  }
+  if (data.size() > model_.page_size) {
+    return Status::InvalidArgument("page device: record exceeds page size");
+  }
+  std::string& slot = pages_[page];
+  slot.assign(model_.page_size, '\0');
+  slot.replace(0, data.size(), data);
+
+  ++stats_.page_writes;
+  stats_.bytes_written += model_.page_size;
+  uint64_t seeks = (page == next_sequential_) ? 0 : 1;
+  stats_.seeks += seeks;
+  clock_->AdvanceMillis(model_.ReadCostMillis(1, seeks));
+  next_sequential_ = page + 1;
+  return Status::OK();
+}
+
+Status PageDevice::Read(PageId page, std::string* out) {
+  if (page >= pages_.size()) {
+    return Status::OutOfRange("page device: read past end");
+  }
+  BillRead(page, 1);
+  if (out != nullptr) {
+    const std::string& slot = pages_[page];
+    if (slot.empty()) {
+      out->assign(model_.page_size, '\0');  // Unmaterialized page.
+    } else {
+      *out = slot;
+    }
+  }
+  return Status::OK();
+}
+
+Status PageDevice::ReadRun(PageId first, uint64_t count,
+                           std::vector<std::string>* out) {
+  if (count == 0) {
+    return Status::OK();
+  }
+  if (first + count > pages_.size()) {
+    return Status::OutOfRange("page device: run read past end");
+  }
+  BillRead(first, count);
+  if (out != nullptr) {
+    out->clear();
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const std::string& slot = pages_[first + i];
+      if (slot.empty()) {
+        out->emplace_back(model_.page_size, '\0');
+      } else {
+        out->push_back(slot);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PageDevice::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("page device: cannot open " + path);
+  }
+  std::string header;
+  EncodeFixed32(&header, kDeviceMagic);
+  EncodeFixed32(&header, model_.page_size);
+  EncodeFixed64(&header, pages_.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const std::string& page : pages_) {
+    const char materialized = page.empty() ? 0 : 1;
+    out.put(materialized);
+    if (materialized) {
+      out.write(page.data(), static_cast<std::streamsize>(page.size()));
+    }
+  }
+  if (!out) {
+    return Status::IoError("page device: write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Status PageDevice::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("page device: cannot open " + path);
+  }
+  std::string header(16, '\0');
+  in.read(header.data(), 16);
+  if (!in) {
+    return Status::Corruption("page device: truncated header");
+  }
+  Decoder decoder(header);
+  uint32_t magic = 0;
+  uint32_t page_size = 0;
+  uint64_t page_count = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&magic));
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&page_size));
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&page_count));
+  if (magic != kDeviceMagic) {
+    return Status::Corruption("page device: bad magic in " + path);
+  }
+  if (page_size != model_.page_size) {
+    return Status::InvalidArgument(
+        "page device: file page size does not match the device model");
+  }
+  std::vector<std::string> pages(page_count);
+  for (uint64_t i = 0; i < page_count; ++i) {
+    int materialized = in.get();
+    if (materialized == std::char_traits<char>::eof()) {
+      return Status::Corruption("page device: truncated image");
+    }
+    if (materialized != 0) {
+      pages[i].resize(model_.page_size);
+      in.read(pages[i].data(),
+              static_cast<std::streamsize>(model_.page_size));
+      if (!in) {
+        return Status::Corruption("page device: truncated page data");
+      }
+    }
+  }
+  pages_ = std::move(pages);
+  next_sequential_ = kInvalidPage;
+  return Status::OK();
+}
+
+void PageDevice::BillRead(PageId first, uint64_t pages) {
+  stats_.page_reads += pages;
+  stats_.bytes_read += pages * model_.page_size;
+  uint64_t seeks = (first == next_sequential_) ? 0 : 1;
+  stats_.seeks += seeks;
+  clock_->AdvanceMillis(model_.ReadCostMillis(pages, seeks));
+  next_sequential_ = first + pages;
+}
+
+}  // namespace hdov

@@ -1,0 +1,91 @@
+// PageDevice: the simulated disk. Pages are fixed-size; every access is
+// billed against a DiskModel (seek + transfer) on a shared SimClock, and
+// counted in IoStats. Backing storage is in-memory; extents can also be
+// allocated *unmaterialized* so that multi-gigabyte model data can be
+// billed for without being stored (reads of such pages return zeros).
+
+#ifndef HDOV_STORAGE_PAGE_DEVICE_H_
+#define HDOV_STORAGE_PAGE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "storage/disk_model.h"
+#include "storage/io_stats.h"
+
+namespace hdov {
+
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPage = ~static_cast<PageId>(0);
+
+class PageDevice {
+ public:
+  // `clock` may be null, in which case the device owns a private clock.
+  // When several devices model one physical disk plus its bus, share one
+  // clock between them so costs accumulate on a single timeline.
+  explicit PageDevice(const DiskModel& model = DiskModel(),
+                      SimClock* clock = nullptr);
+
+  PageDevice(const PageDevice&) = delete;
+  PageDevice& operator=(const PageDevice&) = delete;
+
+  const DiskModel& model() const { return model_; }
+  uint32_t page_size() const { return model_.page_size; }
+  uint64_t page_count() const { return pages_.size(); }
+
+  // Bytes the device would occupy on disk (all allocated pages, whether or
+  // not materialized). This is the number Table 2 reports.
+  uint64_t SizeBytes() const { return page_count() * page_size(); }
+
+  // Allocates one zero page and returns its id.
+  PageId Allocate();
+
+  // Allocates `count` contiguous pages without materializing contents.
+  // Returns the first page id. Reads return zero bytes but are billed.
+  PageId AllocateUnmaterialized(uint64_t count);
+
+  // Writes `data` (at most page_size bytes) to `page`.
+  Status Write(PageId page, std::string_view data);
+
+  // Reads one page into `out` (resized to page_size).
+  Status Read(PageId page, std::string* out);
+
+  // Reads `count` consecutive pages starting at `first`. Billed as one
+  // seek + `count` transfers. `out` may be null when only the cost and the
+  // counters matter (model data fetches).
+  Status ReadRun(PageId first, uint64_t count, std::vector<std::string>* out);
+
+  // Persists the device image to a real file / restores it. Materialized
+  // page contents are stored verbatim; unmaterialized extents are recorded
+  // by length only, so a multi-GB logical device saves as a small file.
+  // Statistics and the cost model are not part of the image.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats(); }
+
+  SimClock& clock() { return *clock_; }
+  const SimClock& clock() const { return *clock_; }
+
+ private:
+  // Charges `pages` transfers starting at `first`; adds a seek when the
+  // access does not continue the previous one.
+  void BillRead(PageId first, uint64_t pages);
+
+  DiskModel model_;
+  SimClock own_clock_;
+  SimClock* clock_;
+  IoStats stats_;
+  // Materialized page contents; empty string = unmaterialized (zeros).
+  std::vector<std::string> pages_;
+  PageId next_sequential_ = kInvalidPage;  // Page after the last access.
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_STORAGE_PAGE_DEVICE_H_

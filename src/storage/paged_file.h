@@ -1,0 +1,54 @@
+// PagedFile: stores variable-length byte records as contiguous page runs
+// ("extents") on a PageDevice. Used for V-page-index segments and other
+// blobs larger than one page; reading an extent is one sequential scan.
+
+#ifndef HDOV_STORAGE_PAGED_FILE_H_
+#define HDOV_STORAGE_PAGED_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page_device.h"
+
+namespace hdov {
+
+struct Extent {
+  PageId first_page = kInvalidPage;
+  uint64_t page_count = 0;
+  uint64_t byte_length = 0;
+
+  bool IsValid() const { return first_page != kInvalidPage; }
+  uint64_t StoredBytes(uint32_t page_size) const {
+    return page_count * page_size;
+  }
+};
+
+class PagedFile {
+ public:
+  explicit PagedFile(PageDevice* device) : device_(device) {}
+
+  PageDevice* device() const { return device_; }
+
+  // Appends `data` as a new extent (always whole pages).
+  Result<Extent> Append(std::string_view data);
+
+  // Reads a whole extent back (one seek + page_count transfers).
+  Result<std::string> ReadExtent(const Extent& extent) const;
+
+  // Reads `length` bytes starting at `offset` within the extent, touching
+  // only the pages that cover the range (one seek + covered transfers).
+  // This is how segmented files (e.g. the V-page-index) read one segment
+  // out of a larger contiguous region.
+  Result<std::string> ReadRange(const Extent& extent, uint64_t offset,
+                                uint64_t length) const;
+
+ private:
+  PageDevice* device_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_STORAGE_PAGED_FILE_H_

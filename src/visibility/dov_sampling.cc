@@ -1,0 +1,42 @@
+#include "visibility/dov_sampling.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/intersect.h"
+
+namespace hdov {
+
+std::vector<float> ComputePointDovSampled(const Scene& scene, const Vec3& p,
+                                          const SamplingDovOptions& options) {
+  Rng rng(options.seed);
+  std::vector<uint64_t> hits(scene.size(), 0);
+  for (size_t r = 0; r < options.num_rays; ++r) {
+    // Uniform direction on the sphere.
+    const double z = rng.Uniform(-1.0, 1.0);
+    const double phi = rng.Uniform(0.0, 2.0 * M_PI);
+    const double s = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const Ray ray{p, Vec3(s * std::cos(phi), s * std::sin(phi), z)};
+
+    ObjectId nearest = kInvalidObject;
+    double nearest_t = std::numeric_limits<double>::infinity();
+    for (const Object& obj : scene.objects()) {
+      if (auto t = RayBox(ray, obj.mbr, 1e-9);
+          t.has_value() && *t < nearest_t) {
+        nearest_t = *t;
+        nearest = obj.id;
+      }
+    }
+    if (nearest != kInvalidObject) {
+      ++hits[nearest];
+    }
+  }
+  std::vector<float> dov(scene.size(), 0.0f);
+  for (size_t i = 0; i < dov.size(); ++i) {
+    dov[i] = static_cast<float>(static_cast<double>(hits[i]) /
+                                static_cast<double>(options.num_rays));
+  }
+  return dov;
+}
+
+}  // namespace hdov

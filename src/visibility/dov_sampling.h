@@ -1,0 +1,31 @@
+// Monte-Carlo DoV estimation: shoots uniformly distributed rays from the
+// viewpoint and attributes each to the nearest occluder hit. By the
+// definition of DoV (visible solid angle / 4 pi), the hit fraction of an
+// object converges to its DoV. Much slower than the cube-map item buffer,
+// but free of rasterization artifacts — used to cross-validate the
+// rasterizer and as a reference implementation.
+
+#ifndef HDOV_VISIBILITY_DOV_SAMPLING_H_
+#define HDOV_VISIBILITY_DOV_SAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "scene/object.h"
+
+namespace hdov {
+
+struct SamplingDovOptions {
+  size_t num_rays = 16384;
+  uint64_t seed = 1;
+};
+
+// DoV of every object (indexed by ObjectId) from `p`, with objects
+// represented by their MBR boxes (matching the rasterizer's
+// OccluderGeometry::kMbrBoxes mode). O(num_rays * objects).
+std::vector<float> ComputePointDovSampled(const Scene& scene, const Vec3& p,
+                                          const SamplingDovOptions& options);
+
+}  // namespace hdov
+
+#endif  // HDOV_VISIBILITY_DOV_SAMPLING_H_

@@ -1,0 +1,137 @@
+#include "visibility/precompute.h"
+
+#include <algorithm>
+
+namespace hdov {
+
+float CellVisibility::DovOf(ObjectId id) const {
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) {
+    return 0.0f;
+  }
+  return dov[static_cast<size_t>(it - ids.begin())];
+}
+
+double VisibilityTable::AverageVisibleObjects() const {
+  if (cells_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const CellVisibility& cell : cells_) {
+    total += static_cast<double>(cell.num_visible());
+  }
+  return total / static_cast<double>(cells_.size());
+}
+
+namespace {
+
+// Moves `p` out of any object MBR it lies inside, along the cheapest axis
+// (smallest penetration). A few rounds handle points inside overlapping
+// boxes; pathological cases give up and return the last position.
+Vec3 PushOutOfObjects(const Scene& scene, Vec3 p) {
+  constexpr double kClearance = 0.05;
+  for (int round = 0; round < 4; ++round) {
+    bool moved = false;
+    for (const Object& obj : scene.objects()) {
+      const Aabb& box = obj.mbr;
+      if (!box.Contains(p)) {
+        continue;
+      }
+      // Penetration depth along each axis face pair (xy only: stepping
+      // over a building is not an option for an eye-height viewpoint).
+      const double candidates[4] = {
+          p.x - box.min.x,  // Exit through min x.
+          box.max.x - p.x,  // Exit through max x.
+          p.y - box.min.y,
+          box.max.y - p.y,
+      };
+      int best = 0;
+      for (int i = 1; i < 4; ++i) {
+        if (candidates[i] < candidates[best]) {
+          best = i;
+        }
+      }
+      switch (best) {
+        case 0:
+          p.x = box.min.x - kClearance;
+          break;
+        case 1:
+          p.x = box.max.x + kClearance;
+          break;
+        case 2:
+          p.y = box.min.y - kClearance;
+          break;
+        case 3:
+          p.y = box.max.y + kClearance;
+          break;
+      }
+      moved = true;
+    }
+    if (!moved) {
+      return p;
+    }
+  }
+  return p;
+}
+
+std::vector<Vec3> CellSamples(const CellGrid& grid, CellId id,
+                              int samples_per_cell) {
+  const Aabb box = grid.CellBounds(id);
+  const Vec3 center = box.Center();
+  std::vector<Vec3> samples;
+  samples.push_back(center);
+  if (samples_per_cell > 1) {
+    // Mid-height corners (the xy extremes dominate the visibility
+    // variation; eye height varies little).
+    for (int i = 0; i < 4; ++i) {
+      Vec3 corner = box.Corner(i);
+      samples.emplace_back(corner.x, corner.y, center.z);
+      if (static_cast<int>(samples.size()) >= samples_per_cell) {
+        break;
+      }
+    }
+  }
+  if (static_cast<int>(samples.size()) < samples_per_cell) {
+    for (int i = 0; i < 8 && static_cast<int>(samples.size()) <
+                                 samples_per_cell;
+         ++i) {
+      samples.push_back(box.Corner(i));
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+Result<VisibilityTable> PrecomputeVisibility(
+    const Scene& scene, const CellGrid& grid, const PrecomputeOptions& options,
+    const std::function<void(uint32_t, uint32_t)>& progress) {
+  if (options.samples_per_cell < 1) {
+    return Status::InvalidArgument("precompute: need at least one sample");
+  }
+  DovComputer computer(&scene, options.dov);
+  std::vector<CellVisibility> cells(grid.num_cells());
+  for (CellId c = 0; c < grid.num_cells(); ++c) {
+    std::vector<Vec3> samples =
+        CellSamples(grid, c, options.samples_per_cell);
+    if (options.avoid_object_interiors) {
+      for (Vec3& p : samples) {
+        p = PushOutOfObjects(scene, p);
+      }
+    }
+    std::vector<float> region = computer.ComputeRegionDov(samples);
+    CellVisibility& cell = cells[c];
+    for (ObjectId id = 0; id < region.size(); ++id) {
+      if (region[id] > 0.0f) {
+        cell.ids.push_back(id);
+        cell.dov.push_back(region[id]);
+      }
+    }
+    if (progress) {
+      progress(c + 1, grid.num_cells());
+    }
+  }
+  return VisibilityTable(std::move(cells));
+}
+
+}  // namespace hdov

@@ -1,0 +1,110 @@
+#include "walkthrough/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdov {
+
+FidelityEvaluator::FidelityEvaluator(const Scene* scene, const HdovTree* tree)
+    : scene_(scene), tree_(tree) {
+  if (tree_ == nullptr) {
+    return;
+  }
+  node_objects_.resize(tree_->num_nodes());
+  // Children-before-parents pass: a node's object set is the union of its
+  // children's sets (reverse preorder).
+  for (auto it = tree_->dfs_order().rbegin(); it != tree_->dfs_order().rend();
+       ++it) {
+    const HdovNode& node = tree_->node(*it);
+    std::vector<ObjectId>& objects = node_objects_[*it];
+    if (node.is_leaf) {
+      for (const HdovEntry& e : node.entries) {
+        objects.push_back(static_cast<ObjectId>(e.child));
+      }
+    } else {
+      for (const HdovEntry& e : node.entries) {
+        const auto& child = node_objects_[static_cast<size_t>(e.child)];
+        objects.insert(objects.end(), child.begin(), child.end());
+      }
+    }
+  }
+}
+
+FidelityScore FidelityEvaluator::Evaluate(
+    const CellVisibility& truth,
+    const std::vector<RetrievedLod>& rendered) const {
+  // Ideal (Eq. 6) triangle budget of every truly visible object.
+  double total_dov = 0.0;
+  for (float d : truth.dov) {
+    total_dov += d;
+  }
+  FidelityScore score;
+  if (total_dov <= 0.0) {
+    score.coverage = score.detail = score.combined = 1.0;
+    return score;  // Nothing visible: trivially perfect.
+  }
+
+  // Triangles allocated to each visible object by the rendered set.
+  std::vector<double> allocated(scene_->size(), 0.0);
+  for (const RetrievedLod& lod : rendered) {
+    if (lod.kind == RetrievedLod::Kind::kObject) {
+      allocated[lod.owner] += static_cast<double>(lod.triangle_count);
+      continue;
+    }
+    // Internal LoD: distribute its triangles over the visible objects it
+    // stands in for, proportional to their DoV.
+    const auto& covered = node_objects_[static_cast<size_t>(lod.owner)];
+    double covered_dov = 0.0;
+    for (ObjectId id : covered) {
+      covered_dov += truth.DovOf(id);
+    }
+    if (covered_dov <= 0.0) {
+      continue;
+    }
+    for (ObjectId id : covered) {
+      const double share = truth.DovOf(id) / covered_dov;
+      allocated[id] += share * static_cast<double>(lod.triangle_count);
+    }
+  }
+
+  double covered_mass = 0.0;
+  double quality_mass = 0.0;
+  for (size_t i = 0; i < truth.ids.size(); ++i) {
+    const ObjectId id = truth.ids[i];
+    const double dov = truth.dov[i];
+    if (allocated[id] <= 0.0) {
+      continue;  // Visible but not represented: pure coverage loss.
+    }
+    covered_mass += dov;
+    const Object& obj = scene_->object(id);
+    const double k = std::min(dov / kMaxDov, 1.0);
+    const double ideal = std::max<double>(
+        1.0, obj.lods.level(obj.lods.LevelForBlend(k)).triangle_count);
+    quality_mass += dov * std::min(1.0, allocated[id] / ideal);
+  }
+
+  score.coverage = covered_mass / total_dov;
+  score.detail = covered_mass > 0.0 ? quality_mass / covered_mass : 0.0;
+  score.combined = quality_mass / total_dov;
+  return score;
+}
+
+FidelityScore FidelityEvaluator::OriginalScore(
+    const CellVisibility& truth) const {
+  std::vector<RetrievedLod> rendered;
+  rendered.reserve(truth.ids.size());
+  for (size_t i = 0; i < truth.ids.size(); ++i) {
+    const Object& obj = scene_->object(truth.ids[i]);
+    RetrievedLod lod;
+    lod.kind = RetrievedLod::Kind::kObject;
+    lod.owner = truth.ids[i];
+    lod.lod_level = 0;
+    lod.triangle_count = obj.lods.finest().triangle_count;
+    lod.byte_size = obj.lods.finest().byte_size;
+    lod.dov = truth.dov[i];
+    rendered.push_back(lod);
+  }
+  return Evaluate(truth, rendered);
+}
+
+}  // namespace hdov

@@ -1,0 +1,55 @@
+// Visual fidelity metric: the quantitative substitute for the paper's
+// Fig. 11 screenshots. Scores a rendered representation set against the
+// ground-truth per-cell visibility:
+//
+//   coverage — DoV-weighted fraction of truly visible objects that are
+//              represented at all (spatial methods lose far visible
+//              objects; this is where that shows up);
+//   detail   — DoV-weighted LoD quality of the represented objects,
+//              quality = min(1, rendered_tris / ideal_tris) with the ideal
+//              given by the Eq. 6 selection at the true DoV;
+//   combined — coverage x detail (1.0 = indistinguishable from rendering
+//              every visible object at its ideal LoD).
+
+#ifndef HDOV_WALKTHROUGH_FIDELITY_H_
+#define HDOV_WALKTHROUGH_FIDELITY_H_
+
+#include <vector>
+
+#include "hdov/hdov_tree.h"
+#include "hdov/search.h"
+#include "visibility/precompute.h"
+
+namespace hdov {
+
+struct FidelityScore {
+  double coverage = 0.0;
+  double detail = 0.0;
+  double combined = 0.0;
+};
+
+class FidelityEvaluator {
+ public:
+  // `tree` may be null when the evaluated systems never return internal
+  // LoDs (REVIEW, naive); it is required to resolve which objects an
+  // internal LoD stands in for.
+  FidelityEvaluator(const Scene* scene, const HdovTree* tree);
+
+  FidelityScore Evaluate(const CellVisibility& truth,
+                         const std::vector<RetrievedLod>& rendered) const;
+
+  // Convenience: the score of rendering every visible object at the
+  // finest LoD ("original models") — always 1/1/1 by construction, used
+  // as the reference row in the Fig. 11 table.
+  FidelityScore OriginalScore(const CellVisibility& truth) const;
+
+ private:
+  const Scene* scene_;
+  const HdovTree* tree_;
+  // Leaf objects below each tree node (empty when tree_ == nullptr).
+  std::vector<std::vector<ObjectId>> node_objects_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_WALKTHROUGH_FIDELITY_H_

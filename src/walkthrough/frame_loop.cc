@@ -1,0 +1,55 @@
+#include "walkthrough/frame_loop.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdov {
+
+Result<SessionSummary> PlaySession(WalkthroughSystem* system,
+                                   const Session& session,
+                                   const PlayOptions& options) {
+  if (session.frames.empty()) {
+    return Status::InvalidArgument("play session: empty session");
+  }
+  if (options.reset_runtime_first) {
+    system->ResetRuntime();
+  }
+
+  SessionSummary summary;
+  summary.system_name = system->name();
+  summary.session_name = session.name;
+  summary.num_frames = session.frames.size();
+
+  double sum_time = 0.0;
+  double sum_time_sq = 0.0;
+  double sum_query = 0.0;
+  double sum_io = 0.0;
+  double sum_light_io = 0.0;
+
+  for (const Viewpoint& vp : session.frames) {
+    FrameResult frame;
+    HDOV_RETURN_IF_ERROR(system->RenderFrame(vp, &frame));
+    sum_time += frame.frame_time_ms;
+    sum_time_sq += frame.frame_time_ms * frame.frame_time_ms;
+    sum_query += frame.query_time_ms;
+    sum_io += static_cast<double>(frame.io_pages);
+    sum_light_io += static_cast<double>(frame.light_io_pages);
+    summary.max_resident_bytes =
+        std::max(summary.max_resident_bytes, frame.resident_bytes);
+    if (options.keep_frames) {
+      summary.frames.push_back(frame);
+    }
+  }
+
+  const double n = static_cast<double>(summary.num_frames);
+  summary.avg_frame_time_ms = sum_time / n;
+  summary.var_frame_time =
+      std::max(0.0, sum_time_sq / n -
+                        summary.avg_frame_time_ms * summary.avg_frame_time_ms);
+  summary.avg_query_time_ms = sum_query / n;
+  summary.avg_io_pages = sum_io / n;
+  summary.avg_light_io_pages = sum_light_io / n;
+  return summary;
+}
+
+}  // namespace hdov

@@ -1,0 +1,44 @@
+// Frame loop: plays a recorded session back on a walkthrough system and
+// aggregates the paper's metrics — average frame time, frame-time variance
+// ("choppiness"), per-query search time and I/O, peak memory.
+
+#ifndef HDOV_WALKTHROUGH_FRAME_LOOP_H_
+#define HDOV_WALKTHROUGH_FRAME_LOOP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "scene/session.h"
+#include "walkthrough/walkthrough_system.h"
+
+namespace hdov {
+
+struct SessionSummary {
+  std::string system_name;
+  std::string session_name;
+  size_t num_frames = 0;
+
+  double avg_frame_time_ms = 0.0;
+  double var_frame_time = 0.0;   // Variance of the per-frame times.
+  double avg_query_time_ms = 0.0;
+  double avg_io_pages = 0.0;
+  double avg_light_io_pages = 0.0;
+  uint64_t max_resident_bytes = 0;
+
+  // Per-frame detail (kept when PlaySession is asked to).
+  std::vector<FrameResult> frames;
+};
+
+struct PlayOptions {
+  bool keep_frames = false;
+  bool reset_runtime_first = true;  // Start the session cold.
+};
+
+Result<SessionSummary> PlaySession(WalkthroughSystem* system,
+                                   const Session& session,
+                                   const PlayOptions& options = PlayOptions());
+
+}  // namespace hdov
+
+#endif  // HDOV_WALKTHROUGH_FRAME_LOOP_H_

@@ -1,0 +1,4 @@
+#include "walkthrough/render_model.h"
+
+// Header-only cost model; this translation unit keeps the header compiled
+// standalone.

@@ -1,0 +1,28 @@
+// RenderCostModel: converts a rendered triangle count into simulated frame
+// render time. Stands in for the paper's OpenGL renderer: frame time =
+// query (disk) time + rasterization time, the latter proportional to the
+// polygon load — which is exactly the trade-off eta tunes.
+
+#ifndef HDOV_WALKTHROUGH_RENDER_MODEL_H_
+#define HDOV_WALKTHROUGH_RENDER_MODEL_H_
+
+#include <cstdint>
+
+namespace hdov {
+
+struct RenderCostModel {
+  // Fixed per-frame overhead (scene setup, buffer swap).
+  double base_ms = 2.0;
+
+  // Per-triangle cost. 10 M triangles/s, in the ballpark of the paper's
+  // early-2000s hardware.
+  double ms_per_triangle = 0.0001;
+
+  double FrameMillis(uint64_t triangles) const {
+    return base_ms + ms_per_triangle * static_cast<double>(triangles);
+  }
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_WALKTHROUGH_RENDER_MODEL_H_

@@ -1,0 +1,208 @@
+#include "walkthrough/visual_system.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hdov {
+
+VisualSystem::VisualSystem(const Scene* scene, const CellGrid* grid,
+                           const VisualOptions& options)
+    : scene_(scene), grid_(grid), options_(options),
+      tree_device_(options.disk, &clock_),
+      store_device_(options.disk, &clock_),
+      model_device_(options.disk, &clock_),
+      models_(&model_device_) {}
+
+Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
+    const Scene* scene, const CellGrid* grid, const VisibilityTable* table,
+    const VisualOptions& options) {
+  if (grid->num_cells() != table->num_cells()) {
+    return Status::InvalidArgument(
+        "visual: grid and visibility table disagree on cell count");
+  }
+  auto system = std::unique_ptr<VisualSystem>(
+      new VisualSystem(scene, grid, options));
+  HDOV_ASSIGN_OR_RETURN(
+      system->tree_,
+      HdovBuilder::Build(*scene, &system->models_, options.build));
+  HDOV_RETURN_IF_ERROR(system->tree_.Pack(&system->tree_device_));
+  HDOV_ASSIGN_OR_RETURN(
+      system->store_,
+      BuildStore(options.scheme, system->tree_, *table,
+                 &system->store_device_));
+  system->searcher_ = std::make_unique<HdovSearcher>(
+      &system->tree_, scene, &system->models_, &system->tree_device_);
+  system->ResetIoStats();
+  return system;
+}
+
+Status VisualSystem::Query(const Vec3& position, bool fetch_models,
+                           std::vector<RetrievedLod>* result,
+                           SearchStats* stats) {
+  const CellId cell = grid_->ClampedCellForPoint(position);
+  SearchOptions search = options_.search;
+  search.eta = options_.eta;
+  HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), cell, search, result,
+                                         stats));
+  if (fetch_models) {
+    for (const RetrievedLod& lod : *result) {
+      HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+    }
+  }
+  return Status::OK();
+}
+
+Status VisualSystem::QueryWithHeuristic(const Vec3& position,
+                                        TerminationHeuristic heuristic,
+                                        std::vector<RetrievedLod>* result) {
+  const CellId cell = grid_->ClampedCellForPoint(position);
+  SearchOptions search = options_.search;
+  search.eta = options_.eta;
+  search.heuristic = heuristic;
+  HDOV_RETURN_IF_ERROR(
+      searcher_->Search(store_.get(), cell, search, result, nullptr));
+  for (const RetrievedLod& lod : *result) {
+    HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+  }
+  return Status::OK();
+}
+
+Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
+                                 FrameResult* result) {
+  const double t0 = clock_.NowMillis();
+  const IoStats light0 = [&] {
+    IoStats s = tree_device_.stats();
+    s += store_device_.stats();
+    return s;
+  }();
+  const IoStats total0 = [&] {
+    IoStats s = light0;
+    s += model_device_.stats();
+    return s;
+  }();
+
+  HDOV_RETURN_IF_ERROR(
+      Query(viewpoint.position, /*fetch_models=*/false, &last_result_,
+            nullptr));
+
+  // Delta search: a representation whose owner is already resident at the
+  // required (or a finer) LoD is reused; otherwise the requested level is
+  // fetched. Afterwards only the current working set stays resident
+  // (semantic replacement).
+  size_t fetched = 0;
+  std::unordered_map<uint64_t, ResidentEntry> next_resident;
+  next_resident.reserve(last_result_.size());
+  uint64_t triangles = 0;
+  for (const RetrievedLod& lod : last_result_) {
+    const uint64_t key = ResidentKey(lod);
+    ResidentEntry entry{lod.lod_level, lod.byte_size, lod.triangle_count};
+    auto it = resident_.find(key);
+    const bool reusable =
+        delta_enabled_ && it != resident_.end() &&
+        it->second.lod_level <= lod.lod_level;  // Finer or equal resident.
+    if (reusable) {
+      entry = it->second;  // Render the (possibly finer) resident copy.
+    } else {
+      HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+      ++fetched;
+    }
+    triangles += entry.triangle_count;
+    next_resident[key] = entry;
+  }
+  resident_ = std::move(next_resident);
+
+  // Idle-frame prefetching toward the predicted next cell. Prefetched
+  // representations are pinned in the resident set so the eventual cell
+  // flip finds them loaded.
+  if (options_.prefetch_models_per_frame > 0 && delta_enabled_ &&
+      fetched == 0) {
+    HDOV_RETURN_IF_ERROR(RunPrefetch(
+        viewpoint, grid_->ClampedCellForPoint(viewpoint.position), &fetched));
+  }
+  for (const auto& [key, entry] : prefetch_.loaded) {
+    resident_.emplace(key, entry);  // Keep current-result entries as-is.
+  }
+
+  IoStats light1 = tree_device_.stats();
+  light1 += store_device_.stats();
+  IoStats total1 = light1;
+  total1 += model_device_.stats();
+
+  result->query_time_ms = clock_.NowMillis() - t0;
+  result->io_pages = total1.Delta(total0).page_reads;
+  result->light_io_pages = light1.Delta(light0).page_reads;
+  result->rendered_triangles = triangles;
+  result->models_fetched = fetched;
+  result->resident_bytes = 0;
+  for (const auto& [key, entry] : resident_) {
+    result->resident_bytes += entry.byte_size;
+  }
+  result->frame_time_ms =
+      result->query_time_ms + options_.render.FrameMillis(triangles);
+  return Status::OK();
+}
+
+Status VisualSystem::RunPrefetch(const Viewpoint& viewpoint,
+                                 CellId current_cell, size_t* fetched) {
+  // Predict the next cell by stepping one cell diameter along the look
+  // direction.
+  const Vec3 cell_extent = grid_->CellBounds(current_cell).Extent();
+  const double stride = std::max(cell_extent.x, cell_extent.y);
+  Vec3 look_xy(viewpoint.look.x, viewpoint.look.y, 0.0);
+  look_xy = look_xy.Normalized();
+  const Vec3 probe = viewpoint.position + look_xy * stride;
+  const CellId ahead = grid_->ClampedCellForPoint(probe);
+  if (ahead == current_cell) {
+    return Status::OK();
+  }
+  if (prefetch_.cell != ahead) {
+    prefetch_.cell = ahead;
+    prefetch_.next = 0;
+    prefetch_.loaded.clear();
+    SearchOptions search = options_.search;
+    search.eta = options_.eta;
+    HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), ahead, search,
+                                           &prefetch_.pending, nullptr));
+  }
+  size_t budget = options_.prefetch_models_per_frame;
+  while (budget > 0 && prefetch_.next < prefetch_.pending.size()) {
+    const RetrievedLod& lod = prefetch_.pending[prefetch_.next++];
+    const uint64_t key = ResidentKey(lod);
+    auto it = resident_.find(key);
+    if (it != resident_.end() && it->second.lod_level <= lod.lod_level) {
+      continue;  // Already resident at sufficient detail.
+    }
+    if (auto pf = prefetch_.loaded.find(key);
+        pf != prefetch_.loaded.end() && pf->second.lod_level <= lod.lod_level) {
+      continue;
+    }
+    HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+    prefetch_.loaded[key] =
+        ResidentEntry{lod.lod_level, lod.byte_size, lod.triangle_count};
+    ++*fetched;
+    --budget;
+  }
+  return Status::OK();
+}
+
+void VisualSystem::ResetRuntime() {
+  resident_.clear();
+  last_result_.clear();
+  prefetch_ = PrefetchState();
+}
+
+IoStats VisualSystem::TotalIoStats() const {
+  IoStats s = tree_device_.stats();
+  s += store_device_.stats();
+  s += model_device_.stats();
+  return s;
+}
+
+void VisualSystem::ResetIoStats() {
+  tree_device_.ResetStats();
+  store_device_.ResetStats();
+  model_device_.ResetStats();
+  clock_.Reset();
+}
+
+}  // namespace hdov

@@ -1,0 +1,128 @@
+// VisualSystem: the paper's VISUAL prototype — an HDoV-tree walkthrough
+// with threshold-tunable LoD retrieval and a delta search that skips
+// representations already resident from previous frames.
+
+#ifndef HDOV_WALKTHROUGH_VISUAL_SYSTEM_H_
+#define HDOV_WALKTHROUGH_VISUAL_SYSTEM_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "hdov/builder.h"
+#include "hdov/search.h"
+#include "scene/cell_grid.h"
+#include "walkthrough/render_model.h"
+#include "walkthrough/walkthrough_system.h"
+
+namespace hdov {
+
+struct VisualOptions {
+  double eta = 0.001;
+  StorageScheme scheme = StorageScheme::kIndexedVertical;
+  HdovBuildOptions build;
+  SearchOptions search;  // eta above overrides search.eta.
+  RenderCostModel render;
+  DiskModel disk;
+
+  // Motion-directed prefetching (extension; the REVIEW system deployed
+  // prefetching as well): during frames that fetch nothing, load up to
+  // this many representations of the viewing cell ahead of the walker, so
+  // crossing a cell border does not stall the frame. 0 (default) disables;
+  // the walkthrough experiments enable it.
+  size_t prefetch_models_per_frame = 0;
+};
+
+class VisualSystem : public WalkthroughSystem {
+ public:
+  // `scene`, `grid` and `table` must outlive the system.
+  static Result<std::unique_ptr<VisualSystem>> Create(
+      const Scene* scene, const CellGrid* grid, const VisibilityTable* table,
+      const VisualOptions& options);
+
+  std::string name() const override { return "VISUAL"; }
+  Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result) override;
+  void ResetRuntime() override;
+  void set_delta_enabled(bool enabled) override { delta_enabled_ = enabled; }
+  const std::vector<RetrievedLod>& last_result() const override {
+    return last_result_;
+  }
+  IoStats TotalIoStats() const override;
+  void ResetIoStats() override;
+
+  // Retunes the DoV threshold between sessions.
+  void set_eta(double eta) { options_.eta = eta; }
+  double eta() const { return options_.eta; }
+
+  const HdovTree& tree() const { return tree_; }
+  VisibilityStore* store() const { return store_.get(); }
+  const ModelStore& models() const { return models_; }
+  SimClock& clock() { return clock_; }
+  PageDevice& tree_device() { return tree_device_; }
+  PageDevice& store_device() { return store_device_; }
+  PageDevice& model_device() { return model_device_; }
+
+  // Runs a single visibility query (search only; optionally fetching the
+  // models). Exposed for the query benchmarks (Figs. 7-9).
+  Status Query(const Vec3& position, bool fetch_models,
+               std::vector<RetrievedLod>* result, SearchStats* stats);
+
+  // Like Query (with model fetches) but with an explicit termination
+  // heuristic; used by the heuristic ablation bench.
+  Status QueryWithHeuristic(const Vec3& position,
+                            TerminationHeuristic heuristic,
+                            std::vector<RetrievedLod>* result);
+
+ private:
+  VisualSystem(const Scene* scene, const CellGrid* grid,
+               const VisualOptions& options);
+
+  const Scene* scene_;
+  const CellGrid* grid_;
+  VisualOptions options_;
+
+  SimClock clock_;
+  PageDevice tree_device_;
+  PageDevice store_device_;
+  PageDevice model_device_;
+  ModelStore models_;
+  HdovTree tree_;
+  std::unique_ptr<VisibilityStore> store_;
+  std::unique_ptr<HdovSearcher> searcher_;
+
+  // Delta search bookkeeping, keyed by representation *owner* (object or
+  // internal node): a resident representation at least as fine as the one
+  // the query asks for is reused rather than refetched — the paper's
+  // "does not retrieve objects that have been retrieved in earlier
+  // operations", robust against LoD-level flicker across cell borders.
+  struct ResidentEntry {
+    uint32_t lod_level = 0;  // Level currently in memory (lower = finer).
+    uint64_t byte_size = 0;
+    uint32_t triangle_count = 0;
+  };
+  // Key: owner id with the representation kind in the top bit.
+  static uint64_t ResidentKey(const RetrievedLod& lod) {
+    return lod.owner |
+           (lod.kind == RetrievedLod::Kind::kInternal ? (1ull << 63) : 0);
+  }
+
+  // Prefetch pipeline for the predicted next cell.
+  struct PrefetchState {
+    CellId cell = kInvalidCell;
+    std::vector<RetrievedLod> pending;
+    size_t next = 0;
+    std::unordered_map<uint64_t, ResidentEntry> loaded;
+  };
+
+  Status RunPrefetch(const Viewpoint& viewpoint, CellId current_cell,
+                     size_t* fetched);
+
+  bool delta_enabled_ = true;
+  std::unordered_map<uint64_t, ResidentEntry> resident_;
+  std::vector<RetrievedLod> last_result_;
+  PrefetchState prefetch_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_WALKTHROUGH_VISUAL_SYSTEM_H_

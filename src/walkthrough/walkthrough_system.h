@@ -1,0 +1,58 @@
+// WalkthroughSystem: the interface shared by VISUAL, REVIEW and the naive
+// baseline. A system owns its simulated devices; RenderFrame runs one
+// query + fetch + render cycle for a viewpoint and reports billed costs.
+
+#ifndef HDOV_WALKTHROUGH_WALKTHROUGH_SYSTEM_H_
+#define HDOV_WALKTHROUGH_WALKTHROUGH_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hdov/search.h"
+#include "scene/session.h"
+#include "storage/io_stats.h"
+
+namespace hdov {
+
+struct FrameResult {
+  double frame_time_ms = 0.0;   // query_time + simulated render time.
+  double query_time_ms = 0.0;   // Simulated disk time of this frame.
+  uint64_t io_pages = 0;        // Page reads billed this frame (all files).
+  uint64_t light_io_pages = 0;  // Index + V-page reads only (no models).
+  uint64_t rendered_triangles = 0;
+  size_t models_fetched = 0;    // Representations newly read from disk.
+  uint64_t resident_bytes = 0;  // Model memory held after the frame.
+};
+
+class WalkthroughSystem {
+ public:
+  virtual ~WalkthroughSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result)
+      = 0;
+
+  // Drops all runtime state (loaded models, current cell) so sessions and
+  // independent queries start cold. Does not reset device statistics.
+  virtual void ResetRuntime() = 0;
+
+  // Enables/disables the system's delta ("complement") search. Disabled
+  // means every frame re-fetches its full result set — the mode used for
+  // the independent-query experiments (Figs. 7-9).
+  virtual void set_delta_enabled(bool enabled) = 0;
+
+  // The representation set retrieved by the last RenderFrame (object or
+  // internal LoDs); input to the fidelity metric.
+  virtual const std::vector<RetrievedLod>& last_result() const = 0;
+
+  // Cumulative I/O across all of the system's devices.
+  virtual IoStats TotalIoStats() const = 0;
+  virtual void ResetIoStats() = 0;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_WALKTHROUGH_WALKTHROUGH_SYSTEM_H_

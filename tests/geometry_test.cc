@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geometry/aabb.h"
+#include "geometry/frustum.h"
+#include "geometry/intersect.h"
+#include "geometry/plane.h"
+#include "geometry/vec3.h"
+
+namespace hdov {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a(1, 2, 3);
+  Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_DOUBLE_EQ(a.Dot(b), 32.0);
+}
+
+TEST(Vec3Test, CrossIsOrthogonal) {
+  Vec3 a(1, 2, 3);
+  Vec3 b(-4, 1, 2);
+  Vec3 c = a.Cross(b);
+  EXPECT_NEAR(c.Dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.Dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3Test, NormalizedLength) {
+  EXPECT_NEAR(Vec3(3, 4, 12).Normalized().Length(), 1.0, 1e-12);
+  // Zero vector normalizes to zero rather than NaN.
+  EXPECT_EQ(Vec3().Normalized(), Vec3());
+}
+
+TEST(AabbTest, EmptyAndExtend) {
+  Aabb box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  box.Extend(Vec3(1, 2, 3));
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);  // A point has zero volume.
+  box.Extend(Vec3(3, 5, 7));
+  EXPECT_DOUBLE_EQ(box.Volume(), 2.0 * 3.0 * 4.0);
+  EXPECT_EQ(box.Center(), Vec3(2, 3.5, 5));
+}
+
+TEST(AabbTest, ExtendEmptyBoxIsNoop) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  box.Extend(Aabb::Empty());
+  EXPECT_EQ(box, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+}
+
+TEST(AabbTest, ContainsAndIntersects) {
+  Aabb box(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  EXPECT_TRUE(box.Contains(Vec3(5, 5, 5)));
+  EXPECT_TRUE(box.Contains(Vec3(0, 0, 0)));  // Boundary counts.
+  EXPECT_FALSE(box.Contains(Vec3(-0.1, 5, 5)));
+  EXPECT_TRUE(box.Intersects(Aabb(Vec3(9, 9, 9), Vec3(12, 12, 12))));
+  EXPECT_TRUE(box.Intersects(Aabb(Vec3(10, 0, 0), Vec3(11, 1, 1))));  // Touch.
+  EXPECT_FALSE(box.Intersects(Aabb(Vec3(11, 0, 0), Vec3(12, 1, 1))));
+  EXPECT_FALSE(box.Intersects(Aabb::Empty()));
+}
+
+TEST(AabbTest, OverlapVolume) {
+  Aabb a(Vec3(0, 0, 0), Vec3(4, 4, 4));
+  Aabb b(Vec3(2, 2, 2), Vec3(6, 6, 6));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 8.0);
+  EXPECT_DOUBLE_EQ(b.OverlapVolume(a), 8.0);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(Aabb(Vec3(5, 5, 5), Vec3(6, 6, 6))), 0.0);
+}
+
+TEST(AabbTest, Enlargement) {
+  Aabb a(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Aabb(Vec3(0, 0, 0), Vec3(4, 2, 2))), 8.0);
+}
+
+TEST(AabbTest, DistanceTo) {
+  Aabb box(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  EXPECT_DOUBLE_EQ(box.DistanceTo(Vec3(1, 1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(box.DistanceTo(Vec3(5, 1, 1)), 3.0);
+  EXPECT_DOUBLE_EQ(box.DistanceTo(Vec3(5, 6, 1)), 5.0);
+}
+
+TEST(AabbTest, CornersCoverAllCombinations) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 2, 3));
+  Aabb rebuilt;
+  for (int i = 0; i < 8; ++i) {
+    rebuilt.Extend(box.Corner(i));
+  }
+  EXPECT_EQ(rebuilt, box);
+}
+
+TEST(PlaneTest, SignedDistance) {
+  Plane p = Plane::FromPointNormal(Vec3(0, 0, 5), Vec3(0, 0, 2));
+  EXPECT_NEAR(p.SignedDistance(Vec3(0, 0, 7)), 2.0, 1e-12);
+  EXPECT_NEAR(p.SignedDistance(Vec3(3, 4, 5)), 0.0, 1e-12);
+  EXPECT_NEAR(p.SignedDistance(Vec3(0, 0, 0)), -5.0, 1e-12);
+}
+
+TEST(PlaneTest, FromPointsWinding) {
+  Plane p = Plane::FromPoints(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0));
+  EXPECT_GT(p.SignedDistance(Vec3(0, 0, 1)), 0.0);  // Right-hand rule: +z.
+}
+
+TEST(PlaneTest, BoxFullyBehind) {
+  Plane p = Plane::FromPointNormal(Vec3(0, 0, 0), Vec3(0, 0, 1));
+  EXPECT_TRUE(p.BoxFullyBehind(Aabb(Vec3(0, 0, -3), Vec3(1, 1, -1))));
+  EXPECT_FALSE(p.BoxFullyBehind(Aabb(Vec3(0, 0, -3), Vec3(1, 1, 1))));
+  EXPECT_FALSE(p.BoxFullyBehind(Aabb(Vec3(0, 0, 1), Vec3(1, 1, 2))));
+}
+
+TEST(FrustumTest, ContainsPointsAlongAxis) {
+  FrustumOptions opt;
+  opt.near_dist = 1.0;
+  opt.far_dist = 100.0;
+  Frustum f(Vec3(0, 0, 0), Vec3(1, 0, 0), opt);
+  EXPECT_TRUE(f.ContainsPoint(Vec3(50, 0, 0)));
+  EXPECT_TRUE(f.ContainsPoint(Vec3(1.5, 0, 0)));
+  EXPECT_FALSE(f.ContainsPoint(Vec3(0.5, 0, 0)));    // Before near plane.
+  EXPECT_FALSE(f.ContainsPoint(Vec3(150, 0, 0)));    // Beyond far plane.
+  EXPECT_FALSE(f.ContainsPoint(Vec3(-10, 0, 0)));    // Behind the eye.
+  EXPECT_FALSE(f.ContainsPoint(Vec3(10, 100, 0)));   // Far off to the side.
+}
+
+TEST(FrustumTest, FovBoundary) {
+  FrustumOptions opt;
+  opt.fov_y_radians = M_PI / 2.0;  // 90 degrees; aspect 1.
+  opt.aspect = 1.0;
+  opt.near_dist = 0.1;
+  opt.far_dist = 100.0;
+  Frustum f(Vec3(0, 0, 0), Vec3(1, 0, 0), opt);
+  // At 90 degrees fov, the boundary is |z| = x.
+  EXPECT_TRUE(f.ContainsPoint(Vec3(10, 0, 9.9)));
+  EXPECT_FALSE(f.ContainsPoint(Vec3(10, 0, 10.1)));
+  EXPECT_TRUE(f.ContainsPoint(Vec3(10, 9.9, 0)));
+  EXPECT_FALSE(f.ContainsPoint(Vec3(10, 10.1, 0)));
+}
+
+TEST(FrustumTest, IntersectsBoxConservative) {
+  FrustumOptions opt;
+  Frustum f(Vec3(0, 0, 0), Vec3(1, 0, 0), opt);
+  EXPECT_TRUE(f.IntersectsBox(Aabb(Vec3(10, -1, -1), Vec3(12, 1, 1))));
+  EXPECT_FALSE(f.IntersectsBox(Aabb(Vec3(-20, -1, -1), Vec3(-10, 1, 1))));
+  // A box straddling a side plane still intersects.
+  EXPECT_TRUE(f.IntersectsBox(Aabb(Vec3(5, -100, -1), Vec3(6, 0, 1))));
+}
+
+TEST(FrustumTest, BoundingBoxCoversFrustumPoints) {
+  FrustumOptions opt;
+  Frustum f(Vec3(3, 4, 5), Vec3(1, 2, 0), opt);
+  Aabb box = f.BoundingBox();
+  Rng rng(5);
+  // Every contained point must be inside the bounding box.
+  for (int i = 0; i < 2000; ++i) {
+    Vec3 p(rng.Uniform(-1500, 1500), rng.Uniform(-1500, 1500),
+           rng.Uniform(-1500, 1500));
+    if (f.ContainsPoint(p)) {
+      EXPECT_TRUE(box.Contains(p)) << "point escaped bounding box";
+    }
+  }
+}
+
+TEST(IntersectTest, RayTriangleHit) {
+  Ray ray{Vec3(0, 0, -5), Vec3(0, 0, 1)};
+  auto t = RayTriangle(ray, Vec3(-1, -1, 0), Vec3(1, -1, 0), Vec3(0, 1, 0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 5.0, 1e-12);
+}
+
+TEST(IntersectTest, RayTriangleBackfaceHits) {
+  // Two-sided: reversing the winding still hits.
+  Ray ray{Vec3(0, 0, -5), Vec3(0, 0, 1)};
+  auto t = RayTriangle(ray, Vec3(-1, -1, 0), Vec3(0, 1, 0), Vec3(1, -1, 0));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 5.0, 1e-12);
+}
+
+TEST(IntersectTest, RayTriangleMiss) {
+  Ray ray{Vec3(5, 5, -5), Vec3(0, 0, 1)};
+  EXPECT_FALSE(
+      RayTriangle(ray, Vec3(-1, -1, 0), Vec3(1, -1, 0), Vec3(0, 1, 0))
+          .has_value());
+  // Behind the origin.
+  Ray back{Vec3(0, 0, 5), Vec3(0, 0, 1)};
+  EXPECT_FALSE(
+      RayTriangle(back, Vec3(-1, -1, 0), Vec3(1, -1, 0), Vec3(0, 1, 0))
+          .has_value());
+}
+
+TEST(IntersectTest, RayBoxEntryParameter) {
+  Aabb box(Vec3(1, -1, -1), Vec3(3, 1, 1));
+  Ray ray{Vec3(0, 0, 0), Vec3(1, 0, 0)};
+  auto t = RayBox(ray, box);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 1.0);
+  // Origin inside the box: entry parameter 0.
+  Ray inside{Vec3(2, 0, 0), Vec3(1, 0, 0)};
+  auto t2 = RayBox(inside, box);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_DOUBLE_EQ(*t2, 0.0);
+}
+
+TEST(IntersectTest, RayBoxMissAndParallel) {
+  Aabb box(Vec3(1, -1, -1), Vec3(3, 1, 1));
+  EXPECT_FALSE(RayBox({Vec3(0, 5, 0), Vec3(1, 0, 0)}, box).has_value());
+  EXPECT_FALSE(RayBox({Vec3(0, 0, 0), Vec3(-1, 0, 0)}, box).has_value());
+  // Parallel to an axis slab but inside its range.
+  EXPECT_TRUE(RayBox({Vec3(0, 0, 0), Vec3(1, 0, 0)}, box).has_value());
+}
+
+TEST(IntersectTest, TriangleAreaRightTriangle) {
+  EXPECT_DOUBLE_EQ(TriangleArea(Vec3(0, 0, 0), Vec3(4, 0, 0), Vec3(0, 3, 0)),
+                   6.0);
+}
+
+TEST(SolidAngleTest, OctantTriangle) {
+  // Triangle spanning one octant of the unit sphere subtends 4pi/8.
+  double omega = TriangleSolidAngle(Vec3(0, 0, 0), Vec3(1, 0, 0),
+                                    Vec3(0, 1, 0), Vec3(0, 0, 1));
+  EXPECT_NEAR(omega, M_PI / 2.0, 1e-9);
+}
+
+TEST(SolidAngleTest, ScaleInvariant) {
+  Vec3 p(0.3, -0.2, 0.1);
+  Vec3 a(2, 0.5, 1), b(1, 3, 0.2), c(0.6, 1, 4);
+  double omega1 = TriangleSolidAngle(p, a, b, c);
+  double omega2 = TriangleSolidAngle(p, p + (a - p) * 7.0, p + (b - p) * 7.0,
+                                     p + (c - p) * 7.0);
+  EXPECT_NEAR(omega1, omega2, 1e-9);
+}
+
+// Parameterized sweep: the six faces of a cube around the origin must
+// together subtend the full sphere.
+class CubeFaceSolidAngle : public ::testing::TestWithParam<double> {};
+
+TEST_P(CubeFaceSolidAngle, FacesSumToFullSphere) {
+  const double half = GetParam();
+  Aabb box(Vec3(-half, -half, -half), Vec3(half, half, half));
+  double total = 0.0;
+  static constexpr int kQuads[6][4] = {
+      {0, 2, 3, 1}, {4, 5, 7, 6}, {0, 1, 5, 4},
+      {2, 6, 7, 3}, {0, 4, 6, 2}, {1, 3, 7, 5},
+  };
+  for (const auto& q : kQuads) {
+    total += TriangleSolidAngle(Vec3(), box.Corner(q[0]), box.Corner(q[1]),
+                                box.Corner(q[2]));
+    total += TriangleSolidAngle(Vec3(), box.Corner(q[0]), box.Corner(q[2]),
+                                box.Corner(q[3]));
+  }
+  EXPECT_NEAR(total, 4.0 * M_PI, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CubeFaceSolidAngle,
+                         ::testing::Values(0.5, 1.0, 10.0, 250.0));
+
+}  // namespace
+}  // namespace hdov

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "mesh/obj_io.h"
+#include "mesh/primitives.h"
+#include "mesh/triangle_mesh.h"
+
+namespace hdov {
+namespace {
+
+TEST(TriangleMeshTest, BuildAndQuery) {
+  TriangleMesh mesh;
+  uint32_t a = mesh.AddVertex(Vec3(0, 0, 0));
+  uint32_t b = mesh.AddVertex(Vec3(1, 0, 0));
+  uint32_t c = mesh.AddVertex(Vec3(0, 1, 0));
+  mesh.AddTriangle(a, b, c);
+  EXPECT_EQ(mesh.vertex_count(), 3u);
+  EXPECT_EQ(mesh.triangle_count(), 1u);
+  EXPECT_DOUBLE_EQ(mesh.SurfaceArea(), 0.5);
+  EXPECT_EQ(mesh.TriangleNormal(0), Vec3(0, 0, 1));
+  EXPECT_TRUE(mesh.Validate().ok());
+}
+
+TEST(TriangleMeshTest, ValidateCatchesBadIndices) {
+  TriangleMesh mesh;
+  mesh.AddVertex(Vec3(0, 0, 0));
+  mesh.AddVertex(Vec3(1, 0, 0));
+  mesh.AddVertex(Vec3(0, 1, 0));
+  mesh.AddTriangle(0, 1, 9);
+  EXPECT_TRUE(mesh.Validate().IsCorruption());
+}
+
+TEST(TriangleMeshTest, ValidateCatchesDegenerateIndices) {
+  TriangleMesh mesh;
+  mesh.AddVertex(Vec3(0, 0, 0));
+  mesh.AddVertex(Vec3(1, 0, 0));
+  mesh.AddTriangle(0, 1, 1);
+  EXPECT_TRUE(mesh.Validate().IsCorruption());
+}
+
+TEST(TriangleMeshTest, AppendRemapsIndices) {
+  TriangleMesh a = MakeBox(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  TriangleMesh b = MakeBox(Vec3(2, 0, 0), Vec3(3, 1, 1));
+  size_t tris_a = a.triangle_count();
+  a.Append(b);
+  EXPECT_EQ(a.triangle_count(), tris_a + b.triangle_count());
+  EXPECT_TRUE(a.Validate().ok());
+  EXPECT_EQ(a.BoundingBox(), Aabb(Vec3(0, 0, 0), Vec3(3, 1, 1)));
+}
+
+TEST(TriangleMeshTest, TranslateAndScale) {
+  TriangleMesh mesh = MakeBox(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  mesh.Translate(Vec3(10, 0, 0));
+  EXPECT_EQ(mesh.BoundingBox(), Aabb(Vec3(10, 0, 0), Vec3(11, 1, 1)));
+  mesh.Scale(2.0);
+  EXPECT_EQ(mesh.BoundingBox(), Aabb(Vec3(20, 0, 0), Vec3(22, 2, 2)));
+}
+
+TEST(TriangleMeshTest, CompactVerticesDropsUnreferenced) {
+  TriangleMesh mesh;
+  mesh.AddVertex(Vec3(9, 9, 9));  // Unreferenced.
+  uint32_t a = mesh.AddVertex(Vec3(0, 0, 0));
+  uint32_t b = mesh.AddVertex(Vec3(1, 0, 0));
+  uint32_t c = mesh.AddVertex(Vec3(0, 1, 0));
+  mesh.AddTriangle(a, b, c);
+  mesh.CompactVertices();
+  EXPECT_EQ(mesh.vertex_count(), 3u);
+  EXPECT_TRUE(mesh.Validate().ok());
+  EXPECT_DOUBLE_EQ(mesh.SurfaceArea(), 0.5);
+}
+
+TEST(PrimitivesTest, BoxIsClosedCube) {
+  TriangleMesh box = MakeBox(Vec3(0, 0, 0), Vec3(2, 3, 4));
+  EXPECT_EQ(box.triangle_count(), 12u);
+  EXPECT_TRUE(box.Validate().ok());
+  EXPECT_EQ(box.BoundingBox(), Aabb(Vec3(0, 0, 0), Vec3(2, 3, 4)));
+  // Surface area of a 2x3x4 box.
+  EXPECT_NEAR(box.SurfaceArea(), 2 * (2 * 3 + 3 * 4 + 2 * 4), 1e-9);
+}
+
+TEST(PrimitivesTest, BoxWindingIsOutward) {
+  TriangleMesh box = MakeBox(Vec3(-1, -1, -1), Vec3(1, 1, 1));
+  // All triangle normals must point away from the center.
+  for (size_t t = 0; t < box.triangle_count(); ++t) {
+    auto [a, b, c] = box.TriangleVertices(t);
+    Vec3 centroid = (a + b + c) / 3.0;
+    EXPECT_GT(box.TriangleNormal(t).Dot(centroid), 0.0) << "triangle " << t;
+  }
+}
+
+TEST(PrimitivesTest, IcosphereCounts) {
+  EXPECT_EQ(MakeIcosphere(0).triangle_count(), 20u);
+  EXPECT_EQ(MakeIcosphere(1).triangle_count(), 80u);
+  EXPECT_EQ(MakeIcosphere(2).triangle_count(), 320u);
+}
+
+TEST(PrimitivesTest, IcosphereVerticesOnUnitSphere) {
+  TriangleMesh sphere = MakeIcosphere(2);
+  EXPECT_TRUE(sphere.Validate().ok());
+  for (const Vec3& v : sphere.vertices()) {
+    EXPECT_NEAR(v.Length(), 1.0, 1e-12);
+  }
+  // Surface area approaches 4 pi from below.
+  EXPECT_GT(sphere.SurfaceArea(), 4.0 * M_PI * 0.95);
+  EXPECT_LT(sphere.SurfaceArea(), 4.0 * M_PI);
+}
+
+TEST(PrimitivesTest, BuildingDimensionsAndDetail) {
+  BuildingOptions opt;
+  opt.width = 10;
+  opt.depth = 20;
+  opt.height = 30;
+  opt.facade_columns = 4;
+  opt.facade_rows = 6;
+  opt.tiers = 1;
+  TriangleMesh building = MakeBuilding(opt);
+  EXPECT_TRUE(building.Validate().ok());
+  Aabb box = building.BoundingBox();
+  EXPECT_NEAR(box.min.z, 0.0, 1e-9);
+  EXPECT_NEAR(box.max.z, 30.0, 1e-9);
+  EXPECT_NEAR(box.Extent().x, 10.0, 1e-9);
+  EXPECT_NEAR(box.Extent().y, 20.0, 1e-9);
+  // 4 walls x 4 x 6 quads x 2 + roof quad x 2.
+  EXPECT_EQ(building.triangle_count(), 4u * 4 * 6 * 2 + 2);
+}
+
+TEST(PrimitivesTest, TieredBuildingShrinks) {
+  BuildingOptions opt;
+  opt.width = 10;
+  opt.depth = 10;
+  opt.height = 60;
+  opt.tiers = 3;
+  TriangleMesh building = MakeBuilding(opt);
+  EXPECT_TRUE(building.Validate().ok());
+  Aabb box = building.BoundingBox();
+  EXPECT_NEAR(box.max.z, 60.0, 1e-9);
+  EXPECT_NEAR(box.Extent().x, 10.0, 1e-9);  // Widest tier is the base.
+}
+
+TEST(PrimitivesTest, BunnyBlobSitsOnGround) {
+  Rng rng(3);
+  TriangleMesh bunny = MakeBunnyBlob(3, 5.0, &rng);
+  EXPECT_TRUE(bunny.Validate().ok());
+  Aabb box = bunny.BoundingBox();
+  EXPECT_NEAR(box.min.z, 0.0, 1e-9);
+  EXPECT_GT(box.Extent().z, 5.0);   // Roughly radius-scaled.
+  EXPECT_LT(box.Extent().z, 16.0);
+  EXPECT_EQ(bunny.triangle_count(), 20u * 4 * 4 * 4);
+}
+
+TEST(PrimitivesTest, BunnyBlobDeterministicPerSeed) {
+  Rng rng1(77);
+  Rng rng2(77);
+  TriangleMesh a = MakeBunnyBlob(2, 3.0, &rng1);
+  TriangleMesh b = MakeBunnyBlob(2, 3.0, &rng2);
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  for (size_t i = 0; i < a.vertex_count(); ++i) {
+    EXPECT_EQ(a.vertices()[i], b.vertices()[i]);
+  }
+}
+
+TEST(PrimitivesTest, GroundPatchTessellation) {
+  TriangleMesh ground =
+      MakeGroundPatch(Vec3(0, 0, 0), Vec3(10, 10, 0), 5, 4);
+  EXPECT_EQ(ground.triangle_count(), 5u * 4 * 2);
+  EXPECT_TRUE(ground.Validate().ok());
+}
+
+TEST(ObjIoTest, RoundTrip) {
+  TriangleMesh box = MakeBox(Vec3(0, 0, 0), Vec3(1, 2, 3));
+  std::stringstream stream;
+  ASSERT_TRUE(WriteObj(box, stream).ok());
+  Result<TriangleMesh> back = ReadObj(stream);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->vertex_count(), box.vertex_count());
+  EXPECT_EQ(back->triangle_count(), box.triangle_count());
+  EXPECT_EQ(back->BoundingBox(), box.BoundingBox());
+}
+
+TEST(ObjIoTest, ParsesFaceVariantsAndComments) {
+  std::stringstream in(
+      "# comment\n"
+      "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\n"
+      "vn 0 0 1\nvt 0 0\n"
+      "f 1/1/1 2/2/1 3/3/1 4/4/1\n");  // Quad with vt/vn refs.
+  Result<TriangleMesh> mesh = ReadObj(in);
+  ASSERT_TRUE(mesh.ok()) << mesh.status().ToString();
+  EXPECT_EQ(mesh->triangle_count(), 2u);  // Fan-triangulated quad.
+}
+
+TEST(ObjIoTest, NegativeIndices) {
+  std::stringstream in("v 0 0 0\nv 1 0 0\nv 0 1 0\nf -3 -2 -1\n");
+  Result<TriangleMesh> mesh = ReadObj(in);
+  ASSERT_TRUE(mesh.ok()) << mesh.status().ToString();
+  EXPECT_EQ(mesh->triangle_count(), 1u);
+}
+
+TEST(ObjIoTest, RejectsMalformedInput) {
+  std::stringstream bad_vertex("v 1 2\nf 1 2 3\n");
+  EXPECT_FALSE(ReadObj(bad_vertex).ok());
+  std::stringstream bad_index("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n");
+  EXPECT_FALSE(ReadObj(bad_index).ok());
+  std::stringstream short_face("v 0 0 0\nv 1 0 0\nf 1 2\n");
+  EXPECT_FALSE(ReadObj(short_face).ok());
+}
+
+TEST(ObjIoTest, MissingFileIsIoError) {
+  EXPECT_TRUE(
+      ReadObjFile("/nonexistent/path/mesh.obj").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace hdov

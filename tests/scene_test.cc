@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "scene/cell_grid.h"
+#include "scene/city_generator.h"
+#include "scene/object.h"
+#include "scene/session.h"
+
+namespace hdov {
+namespace {
+
+CityOptions SmallProxyCity() {
+  CityOptions opt;
+  opt.mode = GeometryMode::kProxy;
+  opt.blocks_x = 3;
+  opt.blocks_y = 3;
+  return opt;
+}
+
+TEST(SceneTest, AddObjectAssignsIdsAndBounds) {
+  Scene scene;
+  Object a;
+  a.mbr = Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  a.lods = LodChain::Proxy(100, LodChainOptions());
+  Object b;
+  b.mbr = Aabb(Vec3(5, 5, 0), Vec3(6, 6, 10));
+  b.lods = LodChain::Proxy(200, LodChainOptions());
+  EXPECT_EQ(scene.AddObject(std::move(a)), 0u);
+  EXPECT_EQ(scene.AddObject(std::move(b)), 1u);
+  EXPECT_EQ(scene.bounds(), Aabb(Vec3(0, 0, 0), Vec3(6, 6, 10)));
+  EXPECT_GT(scene.TotalModelBytes(), 0u);
+  EXPECT_EQ(scene.TotalFinestTriangles(), 300u);
+}
+
+TEST(CityTest, ProxyCityDeterministic) {
+  Result<Scene> a = GenerateCity(SmallProxyCity());
+  Result<Scene> b = GenerateCity(SmallProxyCity());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->object(i).mbr, b->object(i).mbr);
+    EXPECT_EQ(a->object(i).lods.finest().triangle_count,
+              b->object(i).lods.finest().triangle_count);
+  }
+}
+
+TEST(CityTest, ProxyCityHasBuildingsAndPlausibleLayout) {
+  Result<Scene> city = GenerateCity(SmallProxyCity());
+  ASSERT_TRUE(city.ok());
+  EXPECT_GE(city->size(), 9u);  // At least one object per block.
+  size_t buildings = 0;
+  for (const Object& obj : city->objects()) {
+    EXPECT_TRUE(obj.mbr.IsValid());
+    EXPECT_GE(obj.mbr.min.z, -1e-9);  // Everything sits on the ground.
+    EXPECT_FALSE(obj.lods.empty());
+    if (obj.kind == ObjectKind::kBuilding) {
+      ++buildings;
+    }
+  }
+  EXPECT_GT(buildings, 0u);
+}
+
+TEST(CityTest, FullModeMatchesProxyLayout) {
+  CityOptions proxy_opt = SmallProxyCity();
+  proxy_opt.blocks_x = 2;
+  proxy_opt.blocks_y = 2;
+  proxy_opt.park_fraction = 0.0;  // Buildings only: keeps full mode fast.
+  CityOptions full_opt = proxy_opt;
+  full_opt.mode = GeometryMode::kFull;
+  full_opt.facade_columns = 3;
+  full_opt.facade_rows = 4;
+  proxy_opt.facade_columns = 3;
+  proxy_opt.facade_rows = 4;
+
+  Result<Scene> proxy = GenerateCity(proxy_opt);
+  Result<Scene> full = GenerateCity(full_opt);
+  ASSERT_TRUE(proxy.ok());
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(proxy->size(), full->size());
+  for (size_t i = 0; i < proxy->size(); ++i) {
+    // Same finest triangle counts (proxy uses the same formulas).
+    EXPECT_EQ(proxy->object(i).lods.finest().triangle_count,
+              full->object(i).lods.finest().triangle_count)
+        << "object " << i;
+    // Full mode carries real meshes.
+    EXPECT_FALSE(full->object(i).lods.finest().mesh.empty());
+    EXPECT_TRUE(proxy->object(i).lods.is_proxy());
+  }
+}
+
+TEST(CityTest, TargetBytesScalesDatasets) {
+  CityOptions small = CityOptionsForTargetBytes(50ull << 20);   // 50 MB.
+  CityOptions large = CityOptionsForTargetBytes(400ull << 20);  // 400 MB.
+  EXPECT_GT(large.blocks_x * large.blocks_y,
+            small.blocks_x * small.blocks_y);
+  Result<Scene> scene = GenerateCity(small);
+  ASSERT_TRUE(scene.ok());
+  const double actual = static_cast<double>(scene->TotalModelBytes());
+  EXPECT_GT(actual, 0.4 * (50 << 20));
+  EXPECT_LT(actual, 2.5 * (50 << 20));
+}
+
+TEST(CityTest, RejectsBadOptions) {
+  CityOptions opt = SmallProxyCity();
+  opt.blocks_x = 0;
+  EXPECT_FALSE(GenerateCity(opt).ok());
+  opt = SmallProxyCity();
+  opt.park_fraction = 1.5;
+  EXPECT_FALSE(GenerateCity(opt).ok());
+}
+
+TEST(CellGridTest, BuildAndLookup) {
+  Aabb world(Vec3(0, 0, 0), Vec3(100, 200, 50));
+  CellGridOptions opt;
+  opt.cells_x = 10;
+  opt.cells_y = 20;
+  Result<CellGrid> grid = CellGrid::Build(world, opt);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_cells(), 200u);
+
+  auto cell = grid->CellForPoint(Vec3(5, 5, 1.5));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(*cell, 0u);
+  cell = grid->CellForPoint(Vec3(95, 195, 1.5));
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(*cell, 199u);
+  EXPECT_FALSE(grid->CellForPoint(Vec3(-1, 5, 1.5)).has_value());
+  EXPECT_FALSE(grid->CellForPoint(Vec3(5, 201, 1.5)).has_value());
+}
+
+TEST(CellGridTest, CellBoundsTileTheFootprint) {
+  Aabb world(Vec3(0, 0, 0), Vec3(100, 100, 10));
+  CellGridOptions opt;
+  opt.cells_x = 4;
+  opt.cells_y = 4;
+  Result<CellGrid> grid = CellGrid::Build(world, opt);
+  ASSERT_TRUE(grid.ok());
+  double area = 0.0;
+  for (CellId c = 0; c < grid->num_cells(); ++c) {
+    Aabb bounds = grid->CellBounds(c);
+    area += bounds.Extent().x * bounds.Extent().y;
+    EXPECT_NEAR(bounds.min.z, opt.min_eye_height, 1e-12);
+    EXPECT_NEAR(bounds.max.z, opt.max_eye_height, 1e-12);
+  }
+  EXPECT_NEAR(area, 100.0 * 100.0, 1e-6);
+}
+
+TEST(CellGridTest, PointMapsIntoItsCellBounds) {
+  Aabb world(Vec3(-50, -50, 0), Vec3(50, 50, 10));
+  CellGridOptions opt;
+  opt.cells_x = 7;
+  opt.cells_y = 5;
+  Result<CellGrid> grid = CellGrid::Build(world, opt);
+  ASSERT_TRUE(grid.ok());
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    Vec3 p(rng.Uniform(-50, 50), rng.Uniform(-50, 50), 1.7);
+    auto cell = grid->CellForPoint(p);
+    ASSERT_TRUE(cell.has_value());
+    Aabb bounds = grid->CellBounds(*cell);
+    EXPECT_GE(p.x, bounds.min.x - 1e-9);
+    EXPECT_LE(p.x, bounds.max.x + 1e-9);
+    EXPECT_GE(p.y, bounds.min.y - 1e-9);
+    EXPECT_LE(p.y, bounds.max.y + 1e-9);
+  }
+}
+
+TEST(CellGridTest, ClampedLookupNeverFails) {
+  Aabb world(Vec3(0, 0, 0), Vec3(10, 10, 5));
+  Result<CellGrid> grid = CellGrid::Build(world, CellGridOptions());
+  ASSERT_TRUE(grid.ok());
+  EXPECT_LT(grid->ClampedCellForPoint(Vec3(-100, -100, 0)),
+            grid->num_cells());
+  EXPECT_LT(grid->ClampedCellForPoint(Vec3(100, 100, 0)), grid->num_cells());
+}
+
+TEST(CellGridTest, SamplePointsInsideCell) {
+  Aabb world(Vec3(0, 0, 0), Vec3(10, 10, 5));
+  Result<CellGrid> grid = CellGrid::Build(world, CellGridOptions());
+  ASSERT_TRUE(grid.ok());
+  for (CellId c : {0u, 5u, grid->num_cells() - 1}) {
+    Aabb bounds = grid->CellBounds(c);
+    for (const Vec3& p : grid->SamplePoints(c)) {
+      EXPECT_TRUE(bounds.Contains(p));
+    }
+  }
+}
+
+TEST(CellGridTest, RejectsBadOptions) {
+  Aabb world(Vec3(0, 0, 0), Vec3(10, 10, 5));
+  CellGridOptions opt;
+  opt.cells_x = 0;
+  EXPECT_FALSE(CellGrid::Build(world, opt).ok());
+  EXPECT_FALSE(CellGrid::Build(Aabb(), CellGridOptions()).ok());
+  opt = CellGridOptions();
+  opt.min_eye_height = 5;
+  opt.max_eye_height = 1;
+  EXPECT_FALSE(CellGrid::Build(world, opt).ok());
+}
+
+class SessionPatterns : public ::testing::TestWithParam<MotionPattern> {};
+
+TEST_P(SessionPatterns, StaysInBoundsWithUnitLook) {
+  Aabb world(Vec3(0, 0, 0), Vec3(500, 500, 100));
+  SessionOptions opt;
+  opt.num_frames = 400;
+  Session session = RecordSession(GetParam(), world, opt);
+  EXPECT_EQ(session.frames.size(), 400u);
+  EXPECT_EQ(session.name, MotionPatternName(GetParam()));
+  for (const Viewpoint& vp : session.frames) {
+    EXPECT_GE(vp.position.x, world.min.x);
+    EXPECT_LE(vp.position.x, world.max.x);
+    EXPECT_GE(vp.position.y, world.min.y);
+    EXPECT_LE(vp.position.y, world.max.y);
+    EXPECT_NEAR(vp.position.z, opt.eye_height, 1e-9);
+    EXPECT_NEAR(vp.look.Length(), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, SessionPatterns,
+                         ::testing::Values(MotionPattern::kNormalWalk,
+                                           MotionPattern::kTurnLeftRight,
+                                           MotionPattern::kBackForward));
+
+TEST(SessionTest, DeterministicPerSeed) {
+  Aabb world(Vec3(0, 0, 0), Vec3(100, 100, 10));
+  SessionOptions opt;
+  opt.num_frames = 50;
+  Session a = RecordSession(MotionPattern::kNormalWalk, world, opt);
+  Session b = RecordSession(MotionPattern::kNormalWalk, world, opt);
+  for (size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].position, b.frames[i].position);
+  }
+}
+
+TEST(SessionTest, PatternsDiffer) {
+  Aabb world(Vec3(0, 0, 0), Vec3(100, 100, 10));
+  SessionOptions opt;
+  opt.num_frames = 100;
+  Session walk = RecordSession(MotionPattern::kNormalWalk, world, opt);
+  Session back = RecordSession(MotionPattern::kBackForward, world, opt);
+  // The back-forward session repeatedly reverses: its net displacement per
+  // 80 frames is much smaller than the walk's.
+  double walk_path = 0.0;
+  double back_net =
+      (back.frames.front().position - back.frames[79].position).Length();
+  walk_path =
+      (walk.frames.front().position - walk.frames[79].position).Length();
+  EXPECT_LT(back_net, walk_path);
+}
+
+}  // namespace
+}  // namespace hdov

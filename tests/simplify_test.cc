@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mesh/primitives.h"
+#include "simplify/lod_chain.h"
+#include "simplify/quadric.h"
+#include "simplify/simplifier.h"
+
+namespace hdov {
+namespace {
+
+TEST(QuadricTest, ZeroQuadricHasZeroError) {
+  Quadric q;
+  EXPECT_DOUBLE_EQ(q.Error(Vec3(1, 2, 3)), 0.0);
+}
+
+TEST(QuadricTest, PlaneErrorIsSquaredDistance) {
+  // Plane z = 2 with unit normal.
+  Quadric q = Quadric::FromPlane(Vec3(0, 0, 1), -2.0);
+  EXPECT_NEAR(q.Error(Vec3(5, 5, 2)), 0.0, 1e-12);
+  EXPECT_NEAR(q.Error(Vec3(0, 0, 5)), 9.0, 1e-12);
+  EXPECT_NEAR(q.Error(Vec3(0, 0, -1)), 9.0, 1e-12);
+}
+
+TEST(QuadricTest, WeightScalesError) {
+  Quadric q = Quadric::FromPlane(Vec3(0, 0, 1), 0.0, 4.0);
+  EXPECT_NEAR(q.Error(Vec3(0, 0, 3)), 36.0, 1e-12);
+}
+
+TEST(QuadricTest, SumAccumulatesPlanes) {
+  Quadric q = Quadric::FromPlane(Vec3(1, 0, 0), 0.0) +
+              Quadric::FromPlane(Vec3(0, 1, 0), 0.0);
+  EXPECT_NEAR(q.Error(Vec3(3, 4, 0)), 9.0 + 16.0, 1e-12);
+}
+
+TEST(QuadricTest, OptimalPointOfThreePlanes) {
+  // Three orthogonal planes meeting at (1, 2, 3).
+  Quadric q = Quadric::FromPlane(Vec3(1, 0, 0), -1.0) +
+              Quadric::FromPlane(Vec3(0, 1, 0), -2.0) +
+              Quadric::FromPlane(Vec3(0, 0, 1), -3.0);
+  auto opt = q.OptimalPoint();
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_NEAR(opt->x, 1.0, 1e-9);
+  EXPECT_NEAR(opt->y, 2.0, 1e-9);
+  EXPECT_NEAR(opt->z, 3.0, 1e-9);
+  EXPECT_NEAR(q.Error(*opt), 0.0, 1e-12);
+}
+
+TEST(QuadricTest, FlatQuadricHasNoOptimalPoint) {
+  // All planes parallel: singular 3x3 system.
+  Quadric q = Quadric::FromPlane(Vec3(0, 0, 1), 0.0) +
+              Quadric::FromPlane(Vec3(0, 0, 1), -1.0);
+  EXPECT_FALSE(q.OptimalPoint().has_value());
+}
+
+TEST(QuadricTest, FromTriangleVanishesOnTrianglePlane) {
+  Quadric q = Quadric::FromTriangle(Vec3(0, 0, 1), Vec3(4, 0, 1),
+                                    Vec3(0, 4, 1));
+  EXPECT_NEAR(q.Error(Vec3(7, -3, 1)), 0.0, 1e-12);
+  EXPECT_GT(q.Error(Vec3(0, 0, 2)), 0.0);
+  // Degenerate triangle contributes nothing.
+  Quadric zero = Quadric::FromTriangle(Vec3(0, 0, 0), Vec3(1, 1, 1),
+                                       Vec3(2, 2, 2));
+  EXPECT_DOUBLE_EQ(zero.Error(Vec3(5, 5, 5)), 0.0);
+}
+
+TEST(WeldTest, MergesCoincidentVertices) {
+  // Two triangles sharing an edge, but with duplicated vertices.
+  TriangleMesh mesh;
+  mesh.AddVertex(Vec3(0, 0, 0));
+  mesh.AddVertex(Vec3(1, 0, 0));
+  mesh.AddVertex(Vec3(0, 1, 0));
+  mesh.AddTriangle(0, 1, 2);
+  mesh.AddVertex(Vec3(1, 0, 0));  // Duplicate of vertex 1.
+  mesh.AddVertex(Vec3(0, 1, 0));  // Duplicate of vertex 2.
+  mesh.AddVertex(Vec3(1, 1, 0));
+  mesh.AddTriangle(3, 5, 4);
+  TriangleMesh welded = WeldVertices(mesh, 1e-6);
+  EXPECT_EQ(welded.vertex_count(), 4u);
+  EXPECT_EQ(welded.triangle_count(), 2u);
+  EXPECT_TRUE(welded.Validate().ok());
+}
+
+TEST(WeldTest, DropsTrianglesCollapsedByWelding) {
+  TriangleMesh mesh;
+  mesh.AddVertex(Vec3(0, 0, 0));
+  mesh.AddVertex(Vec3(1e-9, 0, 0));  // Welds with vertex 0.
+  mesh.AddVertex(Vec3(0, 1, 0));
+  mesh.AddTriangle(0, 1, 2);
+  TriangleMesh welded = WeldVertices(mesh, 1e-6);
+  EXPECT_EQ(welded.triangle_count(), 0u);
+}
+
+TEST(SimplifyTest, ReachesTargetOnSphere) {
+  TriangleMesh sphere = MakeIcosphere(3);  // 1280 triangles.
+  SimplifyOptions opt;
+  opt.target_triangles = 200;
+  Result<TriangleMesh> simplified = Simplify(sphere, opt);
+  ASSERT_TRUE(simplified.ok()) << simplified.status().ToString();
+  EXPECT_LE(simplified->triangle_count(), 210u);  // Small slack.
+  EXPECT_GT(simplified->triangle_count(), 50u);
+  EXPECT_TRUE(simplified->Validate().ok());
+}
+
+TEST(SimplifyTest, PreservesSphereShapeApproximately) {
+  TriangleMesh sphere = MakeIcosphere(3);
+  sphere.Scale(10.0);
+  SimplifyOptions opt;
+  opt.target_triangles = 150;
+  Result<TriangleMesh> simplified = Simplify(sphere, opt);
+  ASSERT_TRUE(simplified.ok());
+  // Vertices stay near the sphere surface.
+  for (const Vec3& v : simplified->vertices()) {
+    EXPECT_NEAR(v.Length(), 10.0, 1.0);
+  }
+  // Bounding box stays close.
+  Aabb box = simplified->BoundingBox();
+  EXPECT_NEAR(box.Extent().x, 20.0, 2.5);
+  EXPECT_NEAR(box.Extent().y, 20.0, 2.5);
+  EXPECT_NEAR(box.Extent().z, 20.0, 2.5);
+}
+
+TEST(SimplifyTest, NoOpWhenAlreadyBelowTarget) {
+  TriangleMesh box = MakeBox(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  SimplifyOptions opt;
+  opt.target_triangles = 100;
+  Result<TriangleMesh> simplified = Simplify(box, opt);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(simplified->triangle_count(), 12u);
+}
+
+TEST(SimplifyTest, BuildingSimplifiesAcrossSeams) {
+  BuildingOptions bopt;
+  bopt.facade_columns = 8;
+  bopt.facade_rows = 12;
+  TriangleMesh building = MakeBuilding(bopt);  // 770 triangles, seamed walls.
+  SimplifyOptions opt;
+  opt.target_triangles = 60;
+  Result<TriangleMesh> simplified = Simplify(building, opt);
+  ASSERT_TRUE(simplified.ok()) << simplified.status().ToString();
+  EXPECT_LT(simplified->triangle_count(), building.triangle_count() / 4);
+  EXPECT_TRUE(simplified->Validate().ok());
+  // The building silhouette survives (boundary constraints).
+  Aabb before = building.BoundingBox();
+  Aabb after = simplified->BoundingBox();
+  EXPECT_NEAR(after.Extent().x, before.Extent().x, before.Extent().x * 0.2);
+  EXPECT_NEAR(after.Extent().z, before.Extent().z, before.Extent().z * 0.2);
+}
+
+TEST(SimplifyTest, RejectsInvalidMesh) {
+  TriangleMesh bad;
+  bad.AddVertex(Vec3(0, 0, 0));
+  bad.AddTriangle(0, 0, 0);
+  SimplifyOptions opt;
+  opt.target_triangles = 1;
+  EXPECT_TRUE(Simplify(bad, opt).status().IsInvalidArgument());
+}
+
+// Parameterized target sweep: monotone triangle counts and valid results.
+class SimplifyTargets : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimplifyTargets, HitsTargetWithinSlack) {
+  TriangleMesh sphere = MakeIcosphere(3);
+  SimplifyOptions opt;
+  opt.target_triangles = GetParam();
+  Result<TriangleMesh> simplified = Simplify(sphere, opt);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_TRUE(simplified->Validate().ok());
+  EXPECT_LE(simplified->triangle_count(), GetParam() + 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SimplifyTargets,
+                         ::testing::Values(640, 320, 160, 80, 40, 20));
+
+TEST(LodChainTest, BuildsDecreasingLevels) {
+  TriangleMesh sphere = MakeIcosphere(3);
+  LodChainOptions opt;
+  opt.ratios = {1.0, 0.5, 0.2, 0.05};
+  Result<LodChain> chain = LodChain::Build(sphere, opt);
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  ASSERT_GE(chain->num_levels(), 3u);
+  EXPECT_EQ(chain->finest().triangle_count, sphere.triangle_count());
+  for (size_t i = 1; i < chain->num_levels(); ++i) {
+    EXPECT_LT(chain->level(i).triangle_count,
+              chain->level(i - 1).triangle_count);
+  }
+  EXPECT_FALSE(chain->is_proxy());
+}
+
+TEST(LodChainTest, ByteSizesFollowTriangleCounts) {
+  TriangleMesh sphere = MakeIcosphere(2);
+  LodChainOptions opt;
+  opt.bytes_per_triangle = 100;
+  Result<LodChain> chain = LodChain::Build(sphere, opt);
+  ASSERT_TRUE(chain.ok());
+  for (size_t i = 0; i < chain->num_levels(); ++i) {
+    EXPECT_EQ(chain->level(i).byte_size,
+              chain->level(i).triangle_count * 100u);
+  }
+  EXPECT_GT(chain->total_bytes(), 0u);
+}
+
+TEST(LodChainTest, ProxyMatchesFormulas) {
+  LodChainOptions opt;
+  opt.ratios = {1.0, 0.4, 0.1};
+  opt.bytes_per_triangle = 64;
+  opt.min_triangles = 16;
+  LodChain chain = LodChain::Proxy(1000, opt);
+  ASSERT_EQ(chain.num_levels(), 3u);
+  EXPECT_EQ(chain.level(0).triangle_count, 1000u);
+  EXPECT_EQ(chain.level(1).triangle_count, 400u);
+  EXPECT_EQ(chain.level(2).triangle_count, 100u);
+  EXPECT_TRUE(chain.is_proxy());
+}
+
+TEST(LodChainTest, ProxyClampsToMinTriangles) {
+  LodChainOptions opt;
+  opt.ratios = {1.0, 0.5, 0.1};
+  opt.min_triangles = 50;
+  LodChain chain = LodChain::Proxy(60, opt);
+  // 60, then max(50, 30)=50, then max(50, 6)=50 (dropped as duplicate).
+  EXPECT_EQ(chain.num_levels(), 2u);
+  EXPECT_EQ(chain.coarsest().triangle_count, 50u);
+}
+
+TEST(LodChainTest, LevelForBlendEndpoints) {
+  LodChainOptions opt;
+  opt.ratios = {1.0, 0.5, 0.1};
+  opt.min_triangles = 1;
+  LodChain chain = LodChain::Proxy(1000, opt);
+  EXPECT_EQ(chain.LevelForBlend(1.0), 0u);   // Finest.
+  EXPECT_EQ(chain.LevelForBlend(0.0), 2u);   // Coarsest.
+  EXPECT_EQ(chain.LevelForBlend(0.5), 1u);   // Middle budget = 550 -> 500.
+}
+
+TEST(LodChainTest, LevelForBlendMonotone) {
+  LodChainOptions opt;
+  opt.ratios = {1.0, 0.6, 0.3, 0.1, 0.03};
+  opt.min_triangles = 1;
+  LodChain chain = LodChain::Proxy(10000, opt);
+  size_t previous = chain.LevelForBlend(0.0);
+  for (double k = 0.05; k <= 1.0; k += 0.05) {
+    size_t level = chain.LevelForBlend(k);
+    EXPECT_LE(level, previous);  // Larger k never picks a coarser level.
+    previous = level;
+  }
+}
+
+TEST(LodChainTest, RejectsBadRatios) {
+  TriangleMesh box = MakeBox(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  LodChainOptions opt;
+  opt.ratios = {};
+  EXPECT_FALSE(LodChain::Build(box, opt).ok());
+  opt.ratios = {1.5};
+  EXPECT_FALSE(LodChain::Build(box, opt).ok());
+}
+
+}  // namespace
+}  // namespace hdov

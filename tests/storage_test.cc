@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/model_store.h"
+#include "storage/page_device.h"
+#include "storage/paged_file.h"
+
+namespace hdov {
+namespace {
+
+TEST(PageDeviceTest, WriteReadRoundTrip) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "hello pages").ok());
+  std::string data;
+  ASSERT_TRUE(device.Read(p, &data).ok());
+  EXPECT_EQ(data.size(), device.page_size());
+  EXPECT_EQ(data.substr(0, 11), "hello pages");
+  EXPECT_EQ(data[11], '\0');  // Zero padding.
+}
+
+TEST(PageDeviceTest, BoundsChecks) {
+  PageDevice device;
+  std::string data;
+  EXPECT_TRUE(device.Read(0, &data).code() == StatusCode::kOutOfRange);
+  PageId p = device.Allocate();
+  EXPECT_TRUE(device.Write(p + 1, "x").code() == StatusCode::kOutOfRange);
+  std::string too_big(device.page_size() + 1, 'x');
+  EXPECT_TRUE(device.Write(p, too_big).IsInvalidArgument());
+}
+
+TEST(PageDeviceTest, SeekAccounting) {
+  PageDevice device;
+  PageId a = device.Allocate();
+  PageId b = device.Allocate();
+  PageId c = device.Allocate();
+  device.ResetStats();
+
+  std::string data;
+  ASSERT_TRUE(device.Read(a, &data).ok());  // Seek.
+  ASSERT_TRUE(device.Read(b, &data).ok());  // Sequential: no seek.
+  ASSERT_TRUE(device.Read(c, &data).ok());  // Sequential: no seek.
+  ASSERT_TRUE(device.Read(a, &data).ok());  // Back-seek.
+  EXPECT_EQ(device.stats().page_reads, 4u);
+  EXPECT_EQ(device.stats().seeks, 2u);
+}
+
+TEST(PageDeviceTest, ReadRunBilledAsOneSeek) {
+  PageDevice device;
+  PageId first = device.AllocateUnmaterialized(10);
+  device.ResetStats();
+  ASSERT_TRUE(device.ReadRun(first, 10, nullptr).ok());
+  EXPECT_EQ(device.stats().page_reads, 10u);
+  EXPECT_EQ(device.stats().seeks, 1u);
+}
+
+TEST(PageDeviceTest, ClockAdvancesWithCostModel) {
+  DiskModel model;
+  model.seek_ms = 10.0;
+  model.transfer_ms_per_page = 1.0;
+  PageDevice device(model);
+  PageId first = device.AllocateUnmaterialized(5);
+  device.ResetStats();
+  const double t0 = device.clock().NowMillis();
+  ASSERT_TRUE(device.ReadRun(first, 5, nullptr).ok());
+  EXPECT_NEAR(device.clock().NowMillis() - t0, 10.0 + 5.0, 1e-9);
+}
+
+TEST(PageDeviceTest, SharedClockAccumulates) {
+  SimClock clock;
+  DiskModel model;
+  model.seek_ms = 1.0;
+  model.transfer_ms_per_page = 0.0;
+  PageDevice a(model, &clock);
+  PageDevice b(model, &clock);
+  PageId pa = a.Allocate();
+  PageId pb = b.Allocate();
+  clock.Reset();
+  std::string data;
+  ASSERT_TRUE(a.Read(pa, &data).ok());
+  ASSERT_TRUE(b.Read(pb, &data).ok());
+  EXPECT_NEAR(clock.NowMillis(), 2.0, 1e-9);
+}
+
+TEST(PageDeviceTest, UnmaterializedPagesReadAsZeros) {
+  PageDevice device;
+  PageId p = device.AllocateUnmaterialized(1);
+  std::string data;
+  ASSERT_TRUE(device.Read(p, &data).ok());
+  EXPECT_EQ(data, std::string(device.page_size(), '\0'));
+}
+
+TEST(PageDeviceTest, SizeBytesCountsAllPages) {
+  PageDevice device;
+  device.Allocate();
+  device.AllocateUnmaterialized(9);
+  EXPECT_EQ(device.SizeBytes(), 10u * device.page_size());
+}
+
+TEST(PagedFileTest, ExtentRoundTrip) {
+  PageDevice device;
+  PagedFile file(&device);
+  std::string payload(10000, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 26);
+  }
+  Result<Extent> extent = file.Append(payload);
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->byte_length, payload.size());
+  EXPECT_EQ(extent->page_count, 3u);  // 10000 bytes in 4 KiB pages.
+  Result<std::string> back = file.ReadExtent(*extent);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(PagedFileTest, EmptyPayloadStillOccupiesOnePage) {
+  PageDevice device;
+  PagedFile file(&device);
+  Result<Extent> extent = file.Append("");
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(extent->page_count, 1u);
+  Result<std::string> back = file.ReadExtent(*extent);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(PagedFileTest, MultipleExtentsIndependent) {
+  PageDevice device;
+  PagedFile file(&device);
+  Result<Extent> a = file.Append("first extent");
+  Result<Extent> b = file.Append(std::string(5000, 'z'));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*file.ReadExtent(*a), "first extent");
+  EXPECT_EQ(file.ReadExtent(*b)->size(), 5000u);
+}
+
+TEST(PagedFileTest, InvalidExtentRejected) {
+  PageDevice device;
+  PagedFile file(&device);
+  EXPECT_FALSE(file.ReadExtent(Extent()).ok());
+}
+
+TEST(PagedFileTest, ReadRangeTouchesOnlyCoveringPages) {
+  PageDevice device;
+  PagedFile file(&device);
+  std::string payload(20000, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i % 251);
+  }
+  Result<Extent> extent = file.Append(payload);
+  ASSERT_TRUE(extent.ok());
+  device.ResetStats();
+
+  // A range inside the second page reads exactly one page.
+  Result<std::string> one = file.ReadRange(*extent, 5000, 100);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, payload.substr(5000, 100));
+  EXPECT_EQ(device.stats().page_reads, 1u);
+
+  // A range spanning a page boundary reads two.
+  device.ResetStats();
+  Result<std::string> two = file.ReadRange(*extent, 4000, 200);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, payload.substr(4000, 200));
+  EXPECT_EQ(device.stats().page_reads, 2u);
+}
+
+TEST(PagedFileTest, ReadRangeBoundsChecked) {
+  PageDevice device;
+  PagedFile file(&device);
+  Result<Extent> extent = file.Append(std::string(100, 'x'));
+  ASSERT_TRUE(extent.ok());
+  EXPECT_EQ(file.ReadRange(*extent, 50, 51).status().code(),
+            StatusCode::kOutOfRange);
+  Result<std::string> empty = file.ReadRange(*extent, 100, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(PageDeviceTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hdov_device_image";
+  PageDevice device;
+  PageId a = device.Allocate();
+  ASSERT_TRUE(device.Write(a, "persisted page").ok());
+  PageId sparse = device.AllocateUnmaterialized(100);
+  PageId b = device.Allocate();
+  ASSERT_TRUE(device.Write(b, "another page").ok());
+  ASSERT_TRUE(device.SaveToFile(path).ok());
+
+  PageDevice restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.page_count(), device.page_count());
+  std::string data;
+  ASSERT_TRUE(restored.Read(a, &data).ok());
+  EXPECT_EQ(data.substr(0, 14), "persisted page");
+  ASSERT_TRUE(restored.Read(b, &data).ok());
+  EXPECT_EQ(data.substr(0, 12), "another page");
+  ASSERT_TRUE(restored.Read(sparse + 5, &data).ok());
+  EXPECT_EQ(data, std::string(restored.page_size(), '\0'));
+}
+
+TEST(PageDeviceTest, SparseImageStaysSmall) {
+  const std::string path = ::testing::TempDir() + "/hdov_sparse_image";
+  PageDevice device;
+  device.AllocateUnmaterialized(100000);  // 400 MB logical.
+  ASSERT_TRUE(device.SaveToFile(path).ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  ASSERT_TRUE(in.good());
+  EXPECT_LT(in.tellg(), 200000);  // Flags only, not 400 MB.
+}
+
+TEST(PageDeviceTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/hdov_bad_image";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a device image";
+  }
+  PageDevice device;
+  EXPECT_FALSE(device.LoadFromFile(path).ok());
+  EXPECT_TRUE(device.LoadFromFile("/nonexistent/dir/img").IsIoError());
+}
+
+TEST(BufferPoolTest, HitsAvoidDeviceReads) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "cached").ok());
+  device.ResetStats();
+  BufferPool pool(&device, 4);
+  ASSERT_TRUE(pool.Get(p).ok());
+  ASSERT_TRUE(pool.Get(p).ok());
+  ASSERT_TRUE(pool.Get(p).ok());
+  EXPECT_EQ(device.stats().page_reads, 1u);
+  EXPECT_EQ(pool.stats().hits, 2u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, LruEviction) {
+  PageDevice device;
+  PageId pages[3] = {device.Allocate(), device.Allocate(), device.Allocate()};
+  BufferPool pool(&device, 2);
+  ASSERT_TRUE(pool.Get(pages[0]).ok());
+  ASSERT_TRUE(pool.Get(pages[1]).ok());
+  ASSERT_TRUE(pool.Get(pages[0]).ok());  // Touch 0: 1 is now LRU.
+  ASSERT_TRUE(pool.Get(pages[2]).ok());  // Evicts 1.
+  device.ResetStats();
+  ASSERT_TRUE(pool.Get(pages[0]).ok());  // Hit.
+  EXPECT_EQ(device.stats().page_reads, 0u);
+  ASSERT_TRUE(pool.Get(pages[1]).ok());  // Miss: was evicted.
+  EXPECT_EQ(device.stats().page_reads, 1u);
+  // Two evictions so far: page 1 (at the page-2 miss) and then page 2
+  // (bringing page 1 back into a full pool).
+  EXPECT_EQ(pool.stats().evictions, 2u);
+}
+
+TEST(BufferPoolTest, ContentMatchesDevice) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "payload!").ok());
+  BufferPool pool(&device, 2);
+  Result<const std::string*> data = pool.Get(p);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)->substr(0, 8), "payload!");
+}
+
+TEST(ModelStoreTest, RegisterAndFetchBilling) {
+  PageDevice device;
+  ModelStore store(&device);
+  ModelId small = store.Register(100);        // 1 page.
+  ModelId large = store.Register(10000);      // 3 pages.
+  EXPECT_EQ(store.SizeOf(small), 100u);
+  EXPECT_EQ(store.PagesOf(large), 3u);
+  EXPECT_EQ(store.total_bytes(), 10100u);
+  device.ResetStats();
+  ASSERT_TRUE(store.Fetch(large).ok());
+  EXPECT_EQ(device.stats().page_reads, 3u);
+  EXPECT_EQ(device.stats().seeks, 1u);
+  EXPECT_TRUE(store.Fetch(999).code() == StatusCode::kOutOfRange);
+}
+
+TEST(IoStatsTest, DeltaAndAccumulate) {
+  IoStats a;
+  a.page_reads = 10;
+  a.seeks = 2;
+  IoStats b = a;
+  b.page_reads = 15;
+  b.seeks = 3;
+  IoStats d = b.Delta(a);
+  EXPECT_EQ(d.page_reads, 5u);
+  EXPECT_EQ(d.seeks, 1u);
+  a += d;
+  EXPECT_EQ(a.page_reads, 15u);
+}
+
+}  // namespace
+}  // namespace hdov

@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "scene/city_generator.h"
+#include "visibility/cubemap_buffer.h"
+#include "visibility/dov.h"
+#include "visibility/dov_sampling.h"
+#include "visibility/precompute.h"
+
+namespace hdov {
+namespace {
+
+TEST(CubeMapTest, EmptyBufferSeesNothing) {
+  CubeMapBuffer buffer;
+  buffer.Reset(Vec3(0, 0, 0));
+  EXPECT_DOUBLE_EQ(buffer.TotalCoverage(), 0.0);
+}
+
+TEST(CubeMapTest, PixelSolidAnglesSumToSphere) {
+  // Rasterize an enclosing box: every pixel is covered, and the per-pixel
+  // solid angles must sum to 4 pi.
+  CubeMapOptions opt;
+  opt.face_resolution = 16;
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(0, 0, 0));
+  buffer.RasterizeBox(Aabb(Vec3(-5, -5, -5), Vec3(5, 5, 5)), 0);
+  EXPECT_NEAR(buffer.TotalCoverage(), 1.0, 1e-9);
+  EXPECT_NEAR(buffer.SolidAngleOf(0), 4.0 * M_PI, 1e-6);
+}
+
+TEST(CubeMapTest, DistantBoxSolidAngleMatchesAnalytic) {
+  CubeMapOptions opt;
+  opt.face_resolution = 256;  // The quad spans ~13 pixels at this distance.
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(0, 0, 0));
+  // A 2x2 square at distance 20: exact solid angle of a rectangle with
+  // half-widths a = b = 1 at distance d is 4 atan(ab / (d sqrt(a^2 + b^2 +
+  // d^2))) = 0.009975 sr.
+  buffer.RasterizeTriangle(Vec3(20, -1, -1), Vec3(20, 1, -1), Vec3(20, 1, 1),
+                           7);
+  buffer.RasterizeTriangle(Vec3(20, -1, -1), Vec3(20, 1, 1), Vec3(20, -1, 1),
+                           7);
+  const double exact = 0.009975;
+  EXPECT_NEAR(buffer.SolidAngleOf(7), exact, 0.2 * exact);
+}
+
+TEST(CubeMapTest, NearerItemWinsZBuffer) {
+  CubeMapOptions opt;
+  opt.face_resolution = 32;
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(0, 0, 0));
+  // Big far wall, small near blocker straight ahead (+x).
+  buffer.RasterizeBox(Aabb(Vec3(30, -20, -20), Vec3(32, 20, 20)), 1);
+  buffer.RasterizeBox(Aabb(Vec3(10, -2, -2), Vec3(11, 2, 2)), 2);
+  double wall = buffer.SolidAngleOf(1);
+  double blocker = buffer.SolidAngleOf(2);
+  EXPECT_GT(blocker, 0.0);
+  EXPECT_GT(wall, 0.0);
+  // Rasterization order must not matter.
+  CubeMapBuffer buffer2(opt);
+  buffer2.Reset(Vec3(0, 0, 0));
+  buffer2.RasterizeBox(Aabb(Vec3(10, -2, -2), Vec3(11, 2, 2)), 2);
+  buffer2.RasterizeBox(Aabb(Vec3(30, -20, -20), Vec3(32, 20, 20)), 1);
+  EXPECT_NEAR(buffer2.SolidAngleOf(1), wall, 1e-9);
+  EXPECT_NEAR(buffer2.SolidAngleOf(2), blocker, 1e-9);
+}
+
+TEST(CubeMapTest, FullOcclusionGivesZero) {
+  CubeMapOptions opt;
+  opt.face_resolution = 32;
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(0, 0, 0));
+  // The blocker fully covers the small target behind it (target's angular
+  // footprint is a subset of the blocker's).
+  buffer.RasterizeBox(Aabb(Vec3(5, -10, -10), Vec3(6, 10, 10)), 1);
+  buffer.RasterizeBox(Aabb(Vec3(20, -1, -1), Vec3(21, 1, 1)), 2);
+  EXPECT_DOUBLE_EQ(buffer.SolidAngleOf(2), 0.0);
+}
+
+TEST(CubeMapTest, AccumulateMatchesPerItemScan) {
+  CubeMapOptions opt;
+  opt.face_resolution = 24;
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(0, 0, 0));
+  buffer.RasterizeBox(Aabb(Vec3(5, -1, -1), Vec3(6, 1, 1)), 0);
+  buffer.RasterizeBox(Aabb(Vec3(-8, -2, -2), Vec3(-7, 2, 2)), 1);
+  std::vector<double> angles(2, 0.0);
+  buffer.AccumulateSolidAngles(&angles);
+  EXPECT_NEAR(angles[0], buffer.SolidAngleOf(0), 1e-12);
+  EXPECT_NEAR(angles[1], buffer.SolidAngleOf(1), 1e-12);
+}
+
+TEST(CubeMapTest, SurroundingGeometrySeenOnAllFaces) {
+  CubeMapOptions opt;
+  opt.face_resolution = 16;
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(1, 2, 3));
+  // Six separated boxes, one along each axis direction.
+  Vec3 center(1, 2, 3);
+  int item = 0;
+  for (const Vec3& dir :
+       {Vec3(1, 0, 0), Vec3(-1, 0, 0), Vec3(0, 1, 0), Vec3(0, -1, 0),
+        Vec3(0, 0, 1), Vec3(0, 0, -1)}) {
+    Vec3 pos = center + dir * 10.0;
+    buffer.RasterizeBox(Aabb(pos - Vec3(1, 1, 1), pos + Vec3(1, 1, 1)),
+                        item++);
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GT(buffer.SolidAngleOf(i), 0.0) << "direction " << i;
+  }
+}
+
+class ScenedDovTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three boxes in a row along +x from the origin viewpoint: near,
+    // middle (hidden), far (partially visible above the near one).
+    Object near_box;
+    near_box.mbr = Aabb(Vec3(10, -5, 0), Vec3(12, 5, 10));
+    near_box.lods = LodChain::Proxy(100, LodChainOptions());
+    scene_.AddObject(std::move(near_box));
+
+    Object hidden;
+    hidden.mbr = Aabb(Vec3(20, -4, 0), Vec3(22, 4, 8));  // Shadow of near.
+    hidden.lods = LodChain::Proxy(100, LodChainOptions());
+    scene_.AddObject(std::move(hidden));
+
+    Object tall_far;
+    tall_far.mbr = Aabb(Vec3(40, -5, 0), Vec3(42, 5, 60));  // Pokes above.
+    tall_far.lods = LodChain::Proxy(100, LodChainOptions());
+    scene_.AddObject(std::move(tall_far));
+  }
+
+  Scene scene_;
+};
+
+TEST_F(ScenedDovTest, OcclusionAndRange) {
+  DovOptions opt;
+  opt.cubemap.face_resolution = 64;
+  DovComputer computer(&scene_, opt);
+  const std::vector<float>& dov = computer.ComputePointDov(Vec3(0, 0, 5));
+  ASSERT_EQ(dov.size(), 3u);
+  EXPECT_GT(dov[0], 0.0f);          // Near box visible.
+  EXPECT_FLOAT_EQ(dov[1], 0.0f);    // Fully occluded.
+  EXPECT_GT(dov[2], 0.0f);          // Tall box pokes above.
+  EXPECT_LT(dov[2], dov[0]);        // ... but is less prominent.
+  for (float d : dov) {
+    EXPECT_GE(d, 0.0f);
+    EXPECT_LE(d, 0.5f + 1e-5f);     // MAXDOV bound (outside the MBR).
+  }
+}
+
+TEST_F(ScenedDovTest, RegionDovIsMaxOverSamples) {
+  DovOptions opt;
+  opt.cubemap.face_resolution = 32;
+  DovComputer computer(&scene_, opt);
+  std::vector<Vec3> samples = {Vec3(0, 0, 5), Vec3(0, 10, 5), Vec3(0, -10, 5)};
+  std::vector<float> region = computer.ComputeRegionDov(samples);
+  for (const Vec3& p : samples) {
+    const std::vector<float>& point = computer.ComputePointDov(p);
+    for (size_t i = 0; i < region.size(); ++i) {
+      EXPECT_GE(region[i] + 1e-7f, point[i]) << "object " << i;
+    }
+  }
+}
+
+TEST_F(ScenedDovTest, RasterizerAgreesWithMonteCarloReference) {
+  // Cross-validation: the cube-map item buffer and the ray-sampled
+  // estimator implement the same DoV definition and must agree within
+  // their combined discretization error.
+  DovOptions opt;
+  opt.cubemap.face_resolution = 128;
+  DovComputer computer(&scene_, opt);
+  const Vec3 eye(0, 0, 5);
+  const std::vector<float>& raster = computer.ComputePointDov(eye);
+
+  SamplingDovOptions sopt;
+  sopt.num_rays = 200000;
+  std::vector<float> sampled = ComputePointDovSampled(scene_, eye, sopt);
+
+  ASSERT_EQ(raster.size(), sampled.size());
+  for (size_t i = 0; i < raster.size(); ++i) {
+    EXPECT_NEAR(raster[i], sampled[i],
+                0.1 * std::max(raster[i], sampled[i]) + 0.001)
+        << "object " << i;
+  }
+}
+
+TEST(CubeMapTest, CoverageEqualsSumOfItemAngles) {
+  // Property: the total covered solid angle is exactly the sum of every
+  // item's visible solid angle (pixels are partitioned among items).
+  Rng rng(91);
+  CubeMapOptions opt;
+  opt.face_resolution = 24;
+  CubeMapBuffer buffer(opt);
+  buffer.Reset(Vec3(0, 0, 0));
+  const uint32_t kItems = 40;
+  for (uint32_t item = 0; item < kItems; ++item) {
+    Vec3 center(rng.Uniform(-60, 60), rng.Uniform(-60, 60),
+                rng.Uniform(-60, 60));
+    if (center.Length() < 5.0) {
+      center = center + Vec3(10, 10, 10);
+    }
+    Vec3 half(rng.Uniform(1, 6), rng.Uniform(1, 6), rng.Uniform(1, 6));
+    buffer.RasterizeBox(Aabb(center - half, center + half), item);
+  }
+  std::vector<double> angles(kItems, 0.0);
+  double total = buffer.AccumulateSolidAngles(&angles);
+  double sum = 0.0;
+  for (double a : angles) {
+    sum += a;
+  }
+  EXPECT_NEAR(total, sum, 1e-9);
+  EXPECT_NEAR(buffer.TotalCoverage(), total / (4.0 * M_PI), 1e-12);
+}
+
+TEST(CubeMapTest, DeterministicAcrossRuns) {
+  CubeMapOptions opt;
+  opt.face_resolution = 20;
+  auto render = [&] {
+    CubeMapBuffer buffer(opt);
+    buffer.Reset(Vec3(1, 2, 3));
+    buffer.RasterizeBox(Aabb(Vec3(10, -3, -3), Vec3(12, 3, 3)), 1);
+    buffer.RasterizeBox(Aabb(Vec3(-9, -2, 0), Vec3(-7, 2, 8)), 2);
+    return std::make_pair(buffer.SolidAngleOf(1), buffer.SolidAngleOf(2));
+  };
+  auto a = render();
+  auto b = render();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(SamplingDovTest, HitFractionsSumBelowOne) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 3;
+  copt.blocks_y = 3;
+  Result<Scene> city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+  Vec3 eye = city->bounds().Center();
+  eye.z = 1.7;
+  SamplingDovOptions sopt;
+  sopt.num_rays = 20000;
+  std::vector<float> dov = ComputePointDovSampled(*city, eye, sopt);
+  double total = 0.0;
+  for (float d : dov) {
+    total += d;
+  }
+  EXPECT_LE(total, 1.0 + 1e-6);  // A partition of the sphere at most.
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(PrecomputeTest, CityVisibilityIsPlausible) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 3;
+  copt.blocks_y = 3;
+  Result<Scene> city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+
+  CellGridOptions gopt;
+  gopt.cells_x = 3;
+  gopt.cells_y = 3;
+  Result<CellGrid> grid = CellGrid::Build(city->bounds(), gopt);
+  ASSERT_TRUE(grid.ok());
+
+  PrecomputeOptions popt;
+  popt.dov.cubemap.face_resolution = 24;
+  popt.samples_per_cell = 1;
+  Result<VisibilityTable> table = PrecomputeVisibility(*city, *grid, popt);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->num_cells(), 9u);
+
+  // Every cell should see something, but occlusion should hide a part of
+  // the city from most cells.
+  size_t cells_with_hidden = 0;
+  for (CellId c = 0; c < table->num_cells(); ++c) {
+    const CellVisibility& cell = table->cell(c);
+    EXPECT_GT(cell.num_visible(), 0u) << "cell " << c;
+    EXPECT_LE(cell.num_visible(), city->size());
+    if (cell.num_visible() < city->size()) {
+      ++cells_with_hidden;
+    }
+    // Sorted ids and positive DoVs.
+    for (size_t i = 0; i < cell.ids.size(); ++i) {
+      EXPECT_GT(cell.dov[i], 0.0f);
+      if (i > 0) {
+        EXPECT_LT(cell.ids[i - 1], cell.ids[i]);
+      }
+    }
+  }
+  EXPECT_GT(cells_with_hidden, 0u);
+  EXPECT_GT(table->AverageVisibleObjects(), 0.0);
+}
+
+TEST(PrecomputeTest, MoreSamplesNeverShrinkVisibility) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 2;
+  copt.blocks_y = 2;
+  Result<Scene> city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+  CellGridOptions gopt;
+  gopt.cells_x = 2;
+  gopt.cells_y = 2;
+  Result<CellGrid> grid = CellGrid::Build(city->bounds(), gopt);
+  ASSERT_TRUE(grid.ok());
+
+  PrecomputeOptions p1;
+  p1.dov.cubemap.face_resolution = 24;
+  p1.samples_per_cell = 1;
+  PrecomputeOptions p5 = p1;
+  p5.samples_per_cell = 5;
+  Result<VisibilityTable> t1 = PrecomputeVisibility(*city, *grid, p1);
+  Result<VisibilityTable> t5 = PrecomputeVisibility(*city, *grid, p5);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t5.ok());
+  for (CellId c = 0; c < t1->num_cells(); ++c) {
+    // Eq. 2 is a max over samples: more samples -> more conservative.
+    for (size_t i = 0; i < t1->cell(c).ids.size(); ++i) {
+      ObjectId id = t1->cell(c).ids[i];
+      EXPECT_GE(t5->cell(c).DovOf(id) + 1e-7f, t1->cell(c).dov[i]);
+    }
+  }
+}
+
+TEST(PrecomputeTest, ProgressCallbackRuns) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 2;
+  copt.blocks_y = 2;
+  Result<Scene> city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+  CellGridOptions gopt;
+  gopt.cells_x = 2;
+  gopt.cells_y = 2;
+  Result<CellGrid> grid = CellGrid::Build(city->bounds(), gopt);
+  ASSERT_TRUE(grid.ok());
+  PrecomputeOptions popt;
+  popt.dov.cubemap.face_resolution = 16;
+  popt.samples_per_cell = 1;
+  uint32_t calls = 0;
+  ASSERT_TRUE(PrecomputeVisibility(*city, *grid, popt,
+                                   [&](uint32_t done, uint32_t total) {
+                                     ++calls;
+                                     EXPECT_LE(done, total);
+                                   })
+                  .ok());
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(CellVisibilityTest, DovOfLookup) {
+  CellVisibility cell;
+  cell.ids = {3, 7, 9};
+  cell.dov = {0.1f, 0.2f, 0.3f};
+  EXPECT_FLOAT_EQ(cell.DovOf(3), 0.1f);
+  EXPECT_FLOAT_EQ(cell.DovOf(9), 0.3f);
+  EXPECT_FLOAT_EQ(cell.DovOf(4), 0.0f);
+  EXPECT_FLOAT_EQ(cell.DovOf(100), 0.0f);
+}
+
+}  // namespace
+}  // namespace hdov
