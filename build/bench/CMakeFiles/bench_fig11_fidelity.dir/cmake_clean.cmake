@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fidelity.dir/bench_fig11_fidelity.cc.o"
+  "CMakeFiles/bench_fig11_fidelity.dir/bench_fig11_fidelity.cc.o.d"
+  "bench_fig11_fidelity"
+  "bench_fig11_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sessions.dir/bench_fig12_sessions.cc.o"
+  "CMakeFiles/bench_fig12_sessions.dir/bench_fig12_sessions.cc.o.d"
+  "bench_fig12_sessions"
+  "bench_fig12_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

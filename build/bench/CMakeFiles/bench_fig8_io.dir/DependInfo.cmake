@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_io.cc" "bench/CMakeFiles/bench_fig8_io.dir/bench_fig8_io.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_io.dir/bench_fig8_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_walkthrough.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_visibility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

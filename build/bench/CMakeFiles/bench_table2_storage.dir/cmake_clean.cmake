@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_storage.dir/bench_table2_storage.cc.o"
+  "CMakeFiles/bench_table2_storage.dir/bench_table2_storage.cc.o.d"
+  "bench_table2_storage"
+  "bench_table2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

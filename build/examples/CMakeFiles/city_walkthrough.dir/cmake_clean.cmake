@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_walkthrough.dir/city_walkthrough.cpp.o"
+  "CMakeFiles/city_walkthrough.dir/city_walkthrough.cpp.o.d"
+  "city_walkthrough"
+  "city_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

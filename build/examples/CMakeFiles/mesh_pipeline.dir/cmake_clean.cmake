@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_pipeline.dir/mesh_pipeline.cpp.o"
+  "CMakeFiles/mesh_pipeline.dir/mesh_pipeline.cpp.o.d"
+  "mesh_pipeline"
+  "mesh_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

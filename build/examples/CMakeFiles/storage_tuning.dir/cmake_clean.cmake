@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tuning.dir/storage_tuning.cpp.o"
+  "CMakeFiles/storage_tuning.dir/storage_tuning.cpp.o.d"
+  "storage_tuning"
+  "storage_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

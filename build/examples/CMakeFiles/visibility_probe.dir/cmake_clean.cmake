@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visibility_probe.dir/visibility_probe.cpp.o"
+  "CMakeFiles/visibility_probe.dir/visibility_probe.cpp.o.d"
+  "visibility_probe"
+  "visibility_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visibility_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

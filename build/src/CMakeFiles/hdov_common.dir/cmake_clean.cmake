@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_common.dir/common/coding.cc.o"
+  "CMakeFiles/hdov_common.dir/common/coding.cc.o.d"
+  "CMakeFiles/hdov_common.dir/common/status.cc.o"
+  "CMakeFiles/hdov_common.dir/common/status.cc.o.d"
+  "libhdov_common.a"
+  "libhdov_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_geometry.dir/geometry/aabb.cc.o"
+  "CMakeFiles/hdov_geometry.dir/geometry/aabb.cc.o.d"
+  "CMakeFiles/hdov_geometry.dir/geometry/frustum.cc.o"
+  "CMakeFiles/hdov_geometry.dir/geometry/frustum.cc.o.d"
+  "CMakeFiles/hdov_geometry.dir/geometry/intersect.cc.o"
+  "CMakeFiles/hdov_geometry.dir/geometry/intersect.cc.o.d"
+  "libhdov_geometry.a"
+  "libhdov_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hdov_geometry.
+# This may be replaced when dependencies are built.

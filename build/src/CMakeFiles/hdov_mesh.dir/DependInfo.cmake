@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/obj_io.cc" "src/CMakeFiles/hdov_mesh.dir/mesh/obj_io.cc.o" "gcc" "src/CMakeFiles/hdov_mesh.dir/mesh/obj_io.cc.o.d"
+  "/root/repo/src/mesh/primitives.cc" "src/CMakeFiles/hdov_mesh.dir/mesh/primitives.cc.o" "gcc" "src/CMakeFiles/hdov_mesh.dir/mesh/primitives.cc.o.d"
+  "/root/repo/src/mesh/triangle_mesh.cc" "src/CMakeFiles/hdov_mesh.dir/mesh/triangle_mesh.cc.o" "gcc" "src/CMakeFiles/hdov_mesh.dir/mesh/triangle_mesh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

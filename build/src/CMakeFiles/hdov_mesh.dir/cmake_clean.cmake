@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_mesh.dir/mesh/obj_io.cc.o"
+  "CMakeFiles/hdov_mesh.dir/mesh/obj_io.cc.o.d"
+  "CMakeFiles/hdov_mesh.dir/mesh/primitives.cc.o"
+  "CMakeFiles/hdov_mesh.dir/mesh/primitives.cc.o.d"
+  "CMakeFiles/hdov_mesh.dir/mesh/triangle_mesh.cc.o"
+  "CMakeFiles/hdov_mesh.dir/mesh/triangle_mesh.cc.o.d"
+  "libhdov_mesh.a"
+  "libhdov_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_rtree.dir/rtree/linear_split.cc.o"
+  "CMakeFiles/hdov_rtree.dir/rtree/linear_split.cc.o.d"
+  "CMakeFiles/hdov_rtree.dir/rtree/quadratic_split.cc.o"
+  "CMakeFiles/hdov_rtree.dir/rtree/quadratic_split.cc.o.d"
+  "CMakeFiles/hdov_rtree.dir/rtree/rtree.cc.o"
+  "CMakeFiles/hdov_rtree.dir/rtree/rtree.cc.o.d"
+  "libhdov_rtree.a"
+  "libhdov_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

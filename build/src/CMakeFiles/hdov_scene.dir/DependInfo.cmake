@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scene/cell_grid.cc" "src/CMakeFiles/hdov_scene.dir/scene/cell_grid.cc.o" "gcc" "src/CMakeFiles/hdov_scene.dir/scene/cell_grid.cc.o.d"
+  "/root/repo/src/scene/city_generator.cc" "src/CMakeFiles/hdov_scene.dir/scene/city_generator.cc.o" "gcc" "src/CMakeFiles/hdov_scene.dir/scene/city_generator.cc.o.d"
+  "/root/repo/src/scene/object.cc" "src/CMakeFiles/hdov_scene.dir/scene/object.cc.o" "gcc" "src/CMakeFiles/hdov_scene.dir/scene/object.cc.o.d"
+  "/root/repo/src/scene/session.cc" "src/CMakeFiles/hdov_scene.dir/scene/session.cc.o" "gcc" "src/CMakeFiles/hdov_scene.dir/scene/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

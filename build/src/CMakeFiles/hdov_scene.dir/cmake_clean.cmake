@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_scene.dir/scene/cell_grid.cc.o"
+  "CMakeFiles/hdov_scene.dir/scene/cell_grid.cc.o.d"
+  "CMakeFiles/hdov_scene.dir/scene/city_generator.cc.o"
+  "CMakeFiles/hdov_scene.dir/scene/city_generator.cc.o.d"
+  "CMakeFiles/hdov_scene.dir/scene/object.cc.o"
+  "CMakeFiles/hdov_scene.dir/scene/object.cc.o.d"
+  "CMakeFiles/hdov_scene.dir/scene/session.cc.o"
+  "CMakeFiles/hdov_scene.dir/scene/session.cc.o.d"
+  "libhdov_scene.a"
+  "libhdov_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_simplify.dir/simplify/lod_chain.cc.o"
+  "CMakeFiles/hdov_simplify.dir/simplify/lod_chain.cc.o.d"
+  "CMakeFiles/hdov_simplify.dir/simplify/quadric.cc.o"
+  "CMakeFiles/hdov_simplify.dir/simplify/quadric.cc.o.d"
+  "CMakeFiles/hdov_simplify.dir/simplify/simplifier.cc.o"
+  "CMakeFiles/hdov_simplify.dir/simplify/simplifier.cc.o.d"
+  "libhdov_simplify.a"
+  "libhdov_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdov_simplify.a"
+)

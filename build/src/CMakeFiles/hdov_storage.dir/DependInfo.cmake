@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/hdov_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/hdov_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/model_store.cc" "src/CMakeFiles/hdov_storage.dir/storage/model_store.cc.o" "gcc" "src/CMakeFiles/hdov_storage.dir/storage/model_store.cc.o.d"
+  "/root/repo/src/storage/page_device.cc" "src/CMakeFiles/hdov_storage.dir/storage/page_device.cc.o" "gcc" "src/CMakeFiles/hdov_storage.dir/storage/page_device.cc.o.d"
+  "/root/repo/src/storage/paged_file.cc" "src/CMakeFiles/hdov_storage.dir/storage/paged_file.cc.o" "gcc" "src/CMakeFiles/hdov_storage.dir/storage/paged_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/hdov_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/hdov_storage.dir/storage/model_store.cc.o"
+  "CMakeFiles/hdov_storage.dir/storage/model_store.cc.o.d"
+  "CMakeFiles/hdov_storage.dir/storage/page_device.cc.o"
+  "CMakeFiles/hdov_storage.dir/storage/page_device.cc.o.d"
+  "CMakeFiles/hdov_storage.dir/storage/paged_file.cc.o"
+  "CMakeFiles/hdov_storage.dir/storage/paged_file.cc.o.d"
+  "libhdov_storage.a"
+  "libhdov_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

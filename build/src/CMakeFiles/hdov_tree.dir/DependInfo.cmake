@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdov/bitmap_vertical_store.cc" "src/CMakeFiles/hdov_tree.dir/hdov/bitmap_vertical_store.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/bitmap_vertical_store.cc.o.d"
+  "/root/repo/src/hdov/builder.cc" "src/CMakeFiles/hdov_tree.dir/hdov/builder.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/builder.cc.o.d"
+  "/root/repo/src/hdov/hdov_tree.cc" "src/CMakeFiles/hdov_tree.dir/hdov/hdov_tree.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/hdov_tree.cc.o.d"
+  "/root/repo/src/hdov/horizontal_store.cc" "src/CMakeFiles/hdov_tree.dir/hdov/horizontal_store.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/horizontal_store.cc.o.d"
+  "/root/repo/src/hdov/indexed_vertical_store.cc" "src/CMakeFiles/hdov_tree.dir/hdov/indexed_vertical_store.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/indexed_vertical_store.cc.o.d"
+  "/root/repo/src/hdov/search.cc" "src/CMakeFiles/hdov_tree.dir/hdov/search.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/search.cc.o.d"
+  "/root/repo/src/hdov/vertical_store.cc" "src/CMakeFiles/hdov_tree.dir/hdov/vertical_store.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/vertical_store.cc.o.d"
+  "/root/repo/src/hdov/visibility_store.cc" "src/CMakeFiles/hdov_tree.dir/hdov/visibility_store.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/visibility_store.cc.o.d"
+  "/root/repo/src/hdov/vpage.cc" "src/CMakeFiles/hdov_tree.dir/hdov/vpage.cc.o" "gcc" "src/CMakeFiles/hdov_tree.dir/hdov/vpage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_visibility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_tree.dir/hdov/bitmap_vertical_store.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/bitmap_vertical_store.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/builder.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/builder.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/hdov_tree.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/hdov_tree.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/horizontal_store.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/horizontal_store.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/indexed_vertical_store.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/indexed_vertical_store.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/search.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/search.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/vertical_store.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/vertical_store.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/visibility_store.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/visibility_store.cc.o.d"
+  "CMakeFiles/hdov_tree.dir/hdov/vpage.cc.o"
+  "CMakeFiles/hdov_tree.dir/hdov/vpage.cc.o.d"
+  "libhdov_tree.a"
+  "libhdov_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/visibility/cubemap_buffer.cc" "src/CMakeFiles/hdov_visibility.dir/visibility/cubemap_buffer.cc.o" "gcc" "src/CMakeFiles/hdov_visibility.dir/visibility/cubemap_buffer.cc.o.d"
+  "/root/repo/src/visibility/dov.cc" "src/CMakeFiles/hdov_visibility.dir/visibility/dov.cc.o" "gcc" "src/CMakeFiles/hdov_visibility.dir/visibility/dov.cc.o.d"
+  "/root/repo/src/visibility/dov_sampling.cc" "src/CMakeFiles/hdov_visibility.dir/visibility/dov_sampling.cc.o" "gcc" "src/CMakeFiles/hdov_visibility.dir/visibility/dov_sampling.cc.o.d"
+  "/root/repo/src/visibility/precompute.cc" "src/CMakeFiles/hdov_visibility.dir/visibility/precompute.cc.o" "gcc" "src/CMakeFiles/hdov_visibility.dir/visibility/precompute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

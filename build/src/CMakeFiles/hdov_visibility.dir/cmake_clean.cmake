@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_visibility.dir/visibility/cubemap_buffer.cc.o"
+  "CMakeFiles/hdov_visibility.dir/visibility/cubemap_buffer.cc.o.d"
+  "CMakeFiles/hdov_visibility.dir/visibility/dov.cc.o"
+  "CMakeFiles/hdov_visibility.dir/visibility/dov.cc.o.d"
+  "CMakeFiles/hdov_visibility.dir/visibility/dov_sampling.cc.o"
+  "CMakeFiles/hdov_visibility.dir/visibility/dov_sampling.cc.o.d"
+  "CMakeFiles/hdov_visibility.dir/visibility/precompute.cc.o"
+  "CMakeFiles/hdov_visibility.dir/visibility/precompute.cc.o.d"
+  "libhdov_visibility.a"
+  "libhdov_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/walkthrough/fidelity.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/fidelity.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/fidelity.cc.o.d"
+  "/root/repo/src/walkthrough/frame_loop.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/frame_loop.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/frame_loop.cc.o.d"
+  "/root/repo/src/walkthrough/lodr_system.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/lodr_system.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/lodr_system.cc.o.d"
+  "/root/repo/src/walkthrough/naive_system.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/naive_system.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/naive_system.cc.o.d"
+  "/root/repo/src/walkthrough/render_model.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/render_model.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/render_model.cc.o.d"
+  "/root/repo/src/walkthrough/review_system.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/review_system.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/review_system.cc.o.d"
+  "/root/repo/src/walkthrough/visual_system.cc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/visual_system.cc.o" "gcc" "src/CMakeFiles/hdov_walkthrough.dir/walkthrough/visual_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdov_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_visibility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/fidelity.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/fidelity.cc.o.d"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/frame_loop.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/frame_loop.cc.o.d"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/lodr_system.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/lodr_system.cc.o.d"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/naive_system.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/naive_system.cc.o.d"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/render_model.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/render_model.cc.o.d"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/review_system.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/review_system.cc.o.d"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/visual_system.cc.o"
+  "CMakeFiles/hdov_walkthrough.dir/walkthrough/visual_system.cc.o.d"
+  "libhdov_walkthrough.a"
+  "libhdov_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdov_tree_test.dir/hdov_tree_test.cc.o"
+  "CMakeFiles/hdov_tree_test.dir/hdov_tree_test.cc.o.d"
+  "hdov_tree_test"
+  "hdov_tree_test.pdb"
+  "hdov_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdov_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

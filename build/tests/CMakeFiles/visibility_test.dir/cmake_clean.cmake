@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visibility_test.dir/visibility_test.cc.o"
+  "CMakeFiles/visibility_test.dir/visibility_test.cc.o.d"
+  "visibility_test"
+  "visibility_test.pdb"
+  "visibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

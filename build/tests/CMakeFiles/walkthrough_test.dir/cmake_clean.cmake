@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walkthrough_test.dir/walkthrough_test.cc.o"
+  "CMakeFiles/walkthrough_test.dir/walkthrough_test.cc.o.d"
+  "walkthrough_test"
+  "walkthrough_test.pdb"
+  "walkthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
