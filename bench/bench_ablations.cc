@@ -95,7 +95,8 @@ void AblationSplitStrategies(const Testbed& bed) {
   std::printf("\n");
 }
 
-void AblationTerminationHeuristics(const Testbed& bed) {
+void AblationTerminationHeuristics(const Testbed& bed,
+                                   TelemetryScope* telemetry) {
   std::printf("--- B. termination heuristics (per query, eta sweep) ---\n");
   std::printf("%8s | %22s | %22s | %22s\n", "eta", "Eq.4 tris / IO",
               "eta-only tris / IO", "cost-model tris / IO");
@@ -108,6 +109,7 @@ void AblationTerminationHeuristics(const Testbed& bed) {
   if (!visual.ok()) {
     return;
   }
+  telemetry->Attach(visual->get(), "ablation.termination");
   for (double eta : {0.001, 0.004, 0.016}) {
     std::printf("%8.4f |", eta);
     for (TerminationHeuristic heuristic :
@@ -134,7 +136,8 @@ void AblationTerminationHeuristics(const Testbed& bed) {
   std::printf("\n");
 }
 
-void AblationDeltaAndPrefetch(const Testbed& bed) {
+void AblationDeltaAndPrefetch(const Testbed& bed,
+                              TelemetryScope* telemetry) {
   std::printf("--- C. delta search and prefetching ---\n");
   std::printf("%-24s %12s %12s %12s\n", "configuration", "avg (ms)",
               "variance", "worst (ms)");
@@ -158,6 +161,12 @@ void AblationDeltaAndPrefetch(const Testbed& bed) {
     if (!visual.ok()) {
       return;
     }
+    // Loop-scoped system: its registry views vanish with it, but the frame
+    // records it emits stay in the snapshot.
+    telemetry->Attach(visual->get(),
+                      std::string("ablation.prefetch_") +
+                          std::to_string(config.prefetch) +
+                          (config.delta ? ".delta" : ".nodelta"));
     (*visual)->set_delta_enabled(config.delta);
     PlayOptions popt;
     popt.keep_frames = true;
@@ -175,7 +184,7 @@ void AblationDeltaAndPrefetch(const Testbed& bed) {
   }
 }
 
-void AblationBaselinePanel(const Testbed& bed) {
+void AblationBaselinePanel(const Testbed& bed, TelemetryScope* telemetry) {
   std::printf("--- D. three-baseline panel (per session) ---\n");
   std::printf("LoD-R-tree is the related-work baseline the paper critiques"
               " in section 2:\nfast while the view holds steady, degrading"
@@ -201,6 +210,9 @@ void AblationBaselinePanel(const Testbed& bed) {
   if (!visual.ok() || !review.ok() || !lodr.ok()) {
     return;
   }
+  telemetry->Attach(visual->get(), "ablation.panel.visual");
+  telemetry->Attach(review->get(), "ablation.panel.review");
+  telemetry->Attach(lodr->get(), "ablation.panel.lodr");
 
   SessionOptions sopt;
   sopt.num_frames = 300;
@@ -222,19 +234,22 @@ void AblationBaselinePanel(const Testbed& bed) {
   }
 }
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Ablations: construction, termination, delta/prefetch",
               "design-choice ablations (beyond the paper's figures)");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
   AblationSplitStrategies(bed);
-  AblationTerminationHeuristics(bed);
-  AblationDeltaAndPrefetch(bed);
-  AblationBaselinePanel(bed);
-  return 0;
+  AblationTerminationHeuristics(bed, &telemetry);
+  AblationDeltaAndPrefetch(bed, &telemetry);
+  AblationBaselinePanel(bed, &telemetry);
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

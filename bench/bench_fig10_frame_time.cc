@@ -41,9 +41,10 @@ void PrintSeries(const char* label, const SessionSummary& summary,
   std::printf("\n\n");
 }
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Figure 10: frame time during an interactive walkthrough",
               "Figures 10(a,b)");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
 
@@ -69,6 +70,9 @@ int Run() {
     std::fprintf(stderr, "setup failed\n");
     return 1;
   }
+  telemetry.Attach(visual_1->get(), "visual.eta_0.001");
+  telemetry.Attach(visual_2->get(), "visual.eta_0.0003");
+  telemetry.Attach(review->get(), "review");
 
   Result<SessionSummary> s_visual_1 = Play(visual_1->get(), session);
   Result<SessionSummary> s_visual_2 = Play(visual_2->get(), session);
@@ -98,10 +102,12 @@ int Run() {
               s_visual_1->avg_frame_time_ms <=
                       s_visual_2->avg_frame_time_ms + 1e-9
                   ? "yes" : "NO");
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

@@ -17,8 +17,9 @@
 namespace hdov::bench {
 namespace {
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Figure 11: visual fidelity comparison", "Figure 11");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
 
@@ -35,6 +36,14 @@ int Run() {
     std::fprintf(stderr, "setup failed\n");
     return 1;
   }
+  telemetry.Attach(visual->get(), "visual");
+  telemetry.Attach(review->get(), "review");
+  // Post-hoc fidelity annotation of the frame record just emitted.
+  auto annotate = [&](const FidelityScore& score) {
+    if (telemetry.on() && telemetry.get()->last_frame() != nullptr) {
+      telemetry.get()->last_frame()->fidelity = score.combined;
+    }
+  };
 
   FidelityEvaluator eval(&bed.scene, &(*visual)->tree());
 
@@ -65,6 +74,7 @@ int Run() {
       return 1;
     }
     FidelityScore r = eval.Evaluate(truth, (*review)->last_result());
+    annotate(r);
     review_score.coverage += r.coverage;
     review_score.detail += r.detail;
     review_score.combined += r.combined;
@@ -75,6 +85,7 @@ int Run() {
       return 1;
     }
     FidelityScore v = eval.Evaluate(truth, (*visual)->last_result());
+    annotate(v);
     visual_score.coverage += v.coverage;
     visual_score.detail += v.detail;
     visual_score.combined += v.combined;
@@ -138,6 +149,7 @@ int Run() {
     std::fprintf(stderr, "%s\n", fvisual.status().ToString().c_str());
     return 1;
   }
+  telemetry.Attach(fvisual->get(), "visual.full_geometry");
   FidelityEvaluator feval(&*full_city, &(*fvisual)->tree());
   FidelityScore fsum;
   uint64_t ftris = 0;
@@ -152,6 +164,7 @@ int Run() {
     }
     FidelityScore score =
         feval.Evaluate(ftable->cell(c), (*fvisual)->last_result());
+    annotate(score);
     fsum.coverage += score.coverage;
     fsum.detail += score.detail;
     fsum.combined += score.combined;
@@ -171,10 +184,12 @@ int Run() {
               static_cast<double>(forig) / fn,
               100.0 * static_cast<double>(ftris) /
                   static_cast<double>(forig));
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

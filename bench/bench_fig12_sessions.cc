@@ -15,9 +15,10 @@
 namespace hdov::bench {
 namespace {
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Figure 12: search performance across walkthrough sessions",
               "Figures 12(a,b)");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
 
@@ -37,6 +38,8 @@ int Run() {
     std::fprintf(stderr, "setup failed\n");
     return 1;
   }
+  telemetry.Attach(visual->get(), "visual");
+  telemetry.Attach(review->get(), "review");
 
   SessionOptions sopt;
   sopt.num_frames = LargeScale() ? 1200 : 400;
@@ -62,10 +65,12 @@ int Run() {
   std::printf("\nshape check: VISUAL's visibility queries beat REVIEW's\n"
               "spatial queries on both time and I/O in all three motion\n"
               "patterns.\n");
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

@@ -16,8 +16,9 @@
 namespace hdov::bench {
 namespace {
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Figure 7: search time vs DoV threshold (eta)", "Figure 7");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
 
@@ -39,6 +40,8 @@ int Run() {
       return 1;
     }
     systems[s] = std::move(*system);
+    telemetry.Attach(systems[s].get(),
+                     "visual." + StorageSchemeName(schemes[s]));
   }
   Result<std::unique_ptr<NaiveSystem>> naive =
       NaiveSystem::Create(&bed.scene, &bed.grid, &bed.table, NaiveOptions());
@@ -47,6 +50,7 @@ int Run() {
     return 1;
   }
   (*naive)->set_delta_enabled(false);
+  telemetry.Attach(naive->get(), "naive");
 
   // Naive baseline: eta-independent.
   double naive_ms = 0.0;
@@ -90,10 +94,12 @@ int Run() {
   }
   std::printf("\nshape checks: curves fall with eta; horizontal slowest;\n"
               "indexed-vertical <= vertical; eta=0 ~ naive.\n");
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

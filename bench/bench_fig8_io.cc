@@ -14,8 +14,9 @@
 namespace hdov::bench {
 namespace {
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Figure 8: disk I/O vs DoV threshold (eta)", "Figures 8(a,b)");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
 
@@ -34,6 +35,8 @@ int Run() {
     return 1;
   }
   (*naive)->set_delta_enabled(false);
+  telemetry.Attach(visual->get(), "visual.indexed-vertical");
+  telemetry.Attach(naive->get(), "naive");
 
   // Naive baseline: light I/O = cell list pages, total adds model pages.
   double naive_light = 0.0;
@@ -83,10 +86,12 @@ int Run() {
               "large eta; (b) hdov light I/O starts above naive (internal\n"
               "nodes + V-pages cost extra) and falls as branches terminate\n"
               "at internal LoDs.\n");
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

@@ -12,9 +12,10 @@
 namespace hdov::bench {
 namespace {
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Table 2: storage space of the V-page storage schemes",
               "Table 2");
+  TelemetryScope telemetry(args);
   TestbedOptions opt = DefaultTestbedOptions();
   // Storage ratios are driven by the fraction of nodes hidden per cell
   // (N_vnode / N_node), which shrinks as the city and the viewing grid
@@ -54,6 +55,13 @@ int Run() {
       return 1;
     }
     sizes[i] = MB((*store)->SizeBytes());
+    if (telemetry.on()) {
+      telemetry.get()
+          ->metrics()
+          .GetGauge("table2.store." + StorageSchemeName(schemes[i]) +
+                    ".size_bytes")
+          ->Set(static_cast<double>((*store)->SizeBytes()));
+    }
   }
   for (int i = 0; i < 4; ++i) {
     std::printf("%-18s %14.2f %9.1fx\n",
@@ -65,10 +73,12 @@ int Run() {
   std::printf("paper shape check: horizontal/vertical = %.1fx (paper: ~15x"
               " at 4000+ cells), vertical >= indexed-vertical: %s\n",
               sizes[0] / sizes[1], sizes[1] >= sizes[2] ? "yes" : "NO");
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

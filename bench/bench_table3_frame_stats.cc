@@ -15,8 +15,9 @@
 namespace hdov::bench {
 namespace {
 
-int Run() {
+int Run(const BenchArgs& args) {
   PrintHeader("Table 3: frame time statistics vs eta", "Table 3");
+  TelemetryScope telemetry(args);
   Testbed bed = BuildTestbed(DefaultTestbedOptions());
   PrintTestbedSummary(bed);
 
@@ -32,6 +33,7 @@ int Run() {
     std::fprintf(stderr, "%s\n", visual.status().ToString().c_str());
     return 1;
   }
+  telemetry.Attach(visual->get(), "visual");
 
   const double etas[] = {0.0,    0.00005, 0.0001, 0.0002, 0.0003,
                          0.0005, 0.001,   0.002,  0.004};
@@ -60,6 +62,7 @@ int Run() {
     std::fprintf(stderr, "%s\n", review.status().ToString().c_str());
     return 1;
   }
+  telemetry.Attach(review->get(), "review");
   Result<SessionSummary> rev = PlaySession(review->get(), session);
   if (!rev.ok()) {
     return 1;
@@ -71,10 +74,12 @@ int Run() {
               "REVIEW is slower than every VISUAL row (%.1fx vs eta=0.004)\n"
               "and needs more model memory (paper: 62 MB vs 28 MB).\n",
               rev->avg_frame_time_ms / last_avg);
-  return 0;
+  return telemetry.Write() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hdov::bench
 
-int main() { return hdov::bench::Run(); }
+int main(int argc, char** argv) {
+  return hdov::bench::Run(hdov::bench::ParseBenchArgs(argc, argv));
+}

@@ -21,6 +21,7 @@
 #include "scene/cell_grid.h"
 #include "scene/city_generator.h"
 #include "scene/session.h"
+#include "telemetry/telemetry.h"
 #include "visibility/precompute.h"
 #include "walkthrough/visual_system.h"
 
@@ -30,6 +31,73 @@ inline bool LargeScale() {
   const char* scale = std::getenv("HDOV_BENCH_SCALE");
   return scale != nullptr && std::strcmp(scale, "large") == 0;
 }
+
+struct BenchArgs {
+  std::string telemetry_out;  // Empty = telemetry stays off.
+};
+
+// Parses the flags shared by every experiment binary. Unknown flags abort
+// so a typo does not silently run without its effect.
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  constexpr const char kOut[] = "--telemetry-out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0) {
+      args.telemetry_out = argv[i] + sizeof(kOut) - 1;
+      if (args.telemetry_out.empty()) {
+        std::fprintf(stderr, "--telemetry-out needs a path\n");
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: %s<path>)\n",
+                   argv[i], kOut);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// Owns the bench's Telemetry context (when --telemetry-out was given) and
+// writes the JSON snapshot at the end of the run. Declare the scope
+// BEFORE the systems it attaches: systems unregister themselves from the
+// context on destruction, so the context must be destroyed last.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(const BenchArgs& args) : path_(args.telemetry_out) {
+    if (!path_.empty()) {
+      telemetry_ = std::make_unique<telemetry::Telemetry>();
+    }
+  }
+
+  bool on() const { return telemetry_ != nullptr; }
+  telemetry::Telemetry* get() { return telemetry_.get(); }
+
+  void Attach(WalkthroughSystem* system, const std::string& prefix) {
+    if (telemetry_ != nullptr) {
+      system->AttachTelemetry(telemetry_.get(), prefix);
+    }
+  }
+
+  // Writes the snapshot (idempotent). Returns false on I/O failure.
+  bool Write() {
+    if (telemetry_ == nullptr || written_) {
+      return true;
+    }
+    written_ = true;
+    if (Status s = telemetry_->WriteJsonFile(path_); !s.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", s.ToString().c_str());
+      return false;
+    }
+    std::printf("\ntelemetry: wrote %s (%llu frame records)\n", path_.c_str(),
+                static_cast<unsigned long long>(telemetry_->frames_recorded()));
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  bool written_ = false;
+};
 
 struct TestbedOptions {
   int blocks = 16;        // blocks x blocks city.

@@ -51,6 +51,7 @@ Status BitmapVerticalStore::BeginCell(CellId cell) {
   if (cell == current_cell_) {
     return Status::OK();
   }
+  ++tstats_.cell_flips;
   HDOV_ASSIGN_OR_RETURN(
       bitmap_, index_file_.ReadRange(index_extent_, cell * segment_bytes_,
                                      segment_bytes_));
@@ -75,6 +76,7 @@ Status BitmapVerticalStore::GetVPage(uint32_t node_id, VPage* page,
   }
   const auto byte = static_cast<uint8_t>(bitmap_[node_id / 8]);
   if ((byte & (1u << (node_id % 8))) == 0) {
+    ++tstats_.invisible_lookups;
     page->clear();
     *visible = false;
     return Status::OK();
@@ -85,6 +87,7 @@ Status BitmapVerticalStore::GetVPage(uint32_t node_id, VPage* page,
   const uint64_t slot =
       cell_base_[current_cell_] + rank_[node_id / 8] + before_bits;
   HDOV_RETURN_IF_ERROR(vpages_.ReadRecord(slot, page));
+  ++tstats_.vpage_fetches;
   *visible = true;
   return Status::OK();
 }

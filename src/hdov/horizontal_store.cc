@@ -35,6 +35,9 @@ Status HorizontalStore::BeginCell(CellId cell) {
   if (cell >= num_cells_) {
     return Status::OutOfRange("horizontal store: cell out of range");
   }
+  if (cell != current_cell_) {
+    ++tstats_.cell_flips;
+  }
   current_cell_ = cell;
   // No per-cell segment to flip; successive queries in a new cell simply
   // address different slots.
@@ -49,8 +52,12 @@ Status HorizontalStore::GetVPage(uint32_t node_id, VPage* page,
   const uint64_t slot =
       static_cast<uint64_t>(node_id) * num_cells_ + current_cell_;
   HDOV_RETURN_IF_ERROR(file_.ReadRecord(slot, page));
+  // The horizontal scheme materializes every (node, cell) record, so even
+  // invisible lookups fetch a record.
+  ++tstats_.vpage_fetches;
   *visible = !page->empty() && VPageVisible(*page);
   if (!*visible) {
+    ++tstats_.invisible_lookups;
     page->clear();
   }
   return Status::OK();

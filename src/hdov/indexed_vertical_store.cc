@@ -63,6 +63,7 @@ Status IndexedVerticalStore::BeginCell(CellId cell) {
   if (cell == current_cell_) {
     return Status::OK();
   }
+  ++tstats_.cell_flips;
   const auto [offset, length] = segment_dir_[cell];
   HDOV_ASSIGN_OR_RETURN(std::string payload,
                         index_file_.ReadRange(index_extent_, offset, length));
@@ -88,12 +89,14 @@ Status IndexedVerticalStore::GetVPage(uint32_t node_id, VPage* page,
   }
   auto it = std::lower_bound(seg_nodes_.begin(), seg_nodes_.end(), node_id);
   if (it == seg_nodes_.end() || *it != node_id) {
+    ++tstats_.invisible_lookups;
     page->clear();
     *visible = false;
     return Status::OK();
   }
   const size_t idx = static_cast<size_t>(it - seg_nodes_.begin());
   HDOV_RETURN_IF_ERROR(vpages_.ReadRecord(seg_slots_[idx], page));
+  ++tstats_.vpage_fetches;
   *visible = true;
   return Status::OK();
 }

@@ -50,9 +50,20 @@ Status HdovSearcher::Search(VisibilityStore* store, CellId cell,
   result->clear();
   SearchStats local_stats;
   last_node_page_ = kInvalidPage;  // The buffer does not persist queries.
+  telemetry::ScopedSpan span(options.trace, "search");
+  span.Attr("cell", static_cast<double>(cell));
+  span.Attr("eta", options.eta);
+  span.Attr("store", store->name());
   HDOV_RETURN_IF_ERROR(store->BeginCell(cell));
   Status status = SearchNode(store, tree_->root_index(), options, result,
                              &local_stats);
+  span.Attr("nodes_visited", static_cast<double>(local_stats.nodes_visited));
+  span.Attr("vpages_fetched",
+            static_cast<double>(local_stats.vpages_fetched));
+  span.Attr("hidden_pruned",
+            static_cast<double>(local_stats.hidden_entries_pruned));
+  span.Attr("internal_terminations",
+            static_cast<double>(local_stats.internal_terminations));
   if (stats != nullptr) {
     *stats = local_stats;
   }
@@ -65,10 +76,19 @@ Status HdovSearcher::SearchNode(VisibilityStore* store, size_t node_index,
                                 SearchStats* stats) {
   const HdovNode& node = tree_->node(node_index);
   ++stats->nodes_visited;
-  if (tree_device_ != nullptr && node.page != kInvalidPage &&
-      node.page != last_node_page_) {
-    HDOV_RETURN_IF_ERROR(tree_device_->Read(node.page, nullptr));
-    last_node_page_ = node.page;
+  telemetry::TraceRecorder* trace = options.trace;
+  telemetry::ScopedSpan node_span(trace, "node");
+  node_span.Attr("node", static_cast<double>(node.node_id));
+  node_span.Attr("fanout", static_cast<double>(node.entries.size()));
+  node_span.Attr("leaf", node.is_leaf ? 1.0 : 0.0);
+  if (node.page != kInvalidPage && node.page != last_node_page_) {
+    if (tree_cache_ != nullptr) {
+      HDOV_RETURN_IF_ERROR(tree_cache_->Get(node.page).status());
+      last_node_page_ = node.page;
+    } else if (tree_device_ != nullptr) {
+      HDOV_RETURN_IF_ERROR(tree_device_->Read(node.page, nullptr));
+      last_node_page_ = node.page;
+    }
   }
 
   VPage vpage;
@@ -94,6 +114,9 @@ Status HdovSearcher::SearchNode(VisibilityStore* store, size_t node_index,
     const VdEntry& vd = vpage[i];
     if (vd.dov <= 0.0f) {
       ++stats->hidden_entries_pruned;  // Fig. 3 line 3.
+      telemetry::ScopedSpan prune_span(trace, "prune");
+      prune_span.Attr("child", static_cast<double>(entry.child));
+      prune_span.Attr("dov", vd.dov);
       continue;
     }
 
@@ -110,6 +133,10 @@ Status HdovSearcher::SearchNode(VisibilityStore* store, size_t node_index,
       lod.byte_size = obj.lods.level(lod.lod_level).byte_size;
       lod.dov = vd.dov;
       result->push_back(lod);
+      telemetry::ScopedSpan object_span(trace, "object");
+      object_span.Attr("object", static_cast<double>(entry.child));
+      object_span.Attr("dov", vd.dov);
+      object_span.Attr("level", static_cast<double>(lod.lod_level));
       continue;
     }
 
@@ -124,6 +151,9 @@ Status HdovSearcher::SearchNode(VisibilityStore* store, size_t node_index,
     const size_t internal_level = child.internal_lods.LevelForBlend(k);
 
     bool terminate = false;
+    bool eq4_evaluated = false;
+    double eq4_lhs = 0.0;
+    double eq4_rhs = 0.0;
     if (options.eta > 0.0 && vd.dov <= options.eta) {
       switch (options.heuristic) {
         case TerminationHeuristic::kNone:
@@ -135,11 +165,12 @@ Status HdovSearcher::SearchNode(VisibilityStore* store, size_t node_index,
               std::log(static_cast<double>(
                   std::max<uint32_t>(1, entry.leaf_descendants))) /
               log_fanout_;
-          const double lhs = h * (1.0 + log_s);
-          const double rhs =
+          eq4_lhs = h * (1.0 + log_s);
+          eq4_rhs =
               std::log(static_cast<double>(std::max<uint32_t>(1, vd.nvo))) /
               log_fanout_;
-          terminate = lhs < rhs;
+          eq4_evaluated = true;
+          terminate = eq4_lhs < eq4_rhs;
           break;
         }
         case TerminationHeuristic::kCostModel: {
@@ -176,9 +207,28 @@ Status HdovSearcher::SearchNode(VisibilityStore* store, size_t node_index,
       lod.byte_size = child.internal_lods.level(lod.lod_level).byte_size;
       lod.dov = vd.dov;
       result->push_back(lod);
+      telemetry::ScopedSpan term_span(trace, "terminate");
+      term_span.Attr("child", static_cast<double>(child_index));
+      term_span.Attr("dov", vd.dov);
+      term_span.Attr("nvo", static_cast<double>(vd.nvo));
+      term_span.Attr("level", static_cast<double>(internal_level));
+      if (eq4_evaluated) {
+        term_span.Attr("eq4_lhs", eq4_lhs);
+        term_span.Attr("eq4_rhs", eq4_rhs);
+        term_span.Attr("eq4_verdict", 1.0);
+      }
       continue;
     }
 
+    telemetry::ScopedSpan descend_span(trace, "descend");
+    descend_span.Attr("child", static_cast<double>(child_index));
+    descend_span.Attr("dov", vd.dov);
+    descend_span.Attr("nvo", static_cast<double>(vd.nvo));
+    if (eq4_evaluated) {
+      descend_span.Attr("eq4_lhs", eq4_lhs);
+      descend_span.Attr("eq4_rhs", eq4_rhs);
+      descend_span.Attr("eq4_verdict", 0.0);
+    }
     HDOV_RETURN_IF_ERROR(
         SearchNode(store, child_index, options, result, stats));
   }

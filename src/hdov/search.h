@@ -19,7 +19,9 @@
 #include "hdov/hdov_tree.h"
 #include "hdov/visibility_store.h"
 #include "scene/object.h"
+#include "storage/buffer_pool.h"
 #include "storage/model_store.h"
+#include "telemetry/trace.h"
 
 namespace hdov {
 
@@ -54,6 +56,12 @@ struct SearchOptions {
   // kCostModel only: assumed coarsest-LoD fraction of an object chain
   // (matches LodChainOptions::ratios.back() of the scene build).
   double assumed_coarsest_ratio = 0.05;
+
+  // When set, the traversal records a span tree under an open "search"
+  // root: a "node" span per visited node with "prune" / "object" /
+  // "terminate" / "descend" children carrying DoV, NVO and the Eq. 4
+  // operands. Null (the default) costs nothing.
+  telemetry::TraceRecorder* trace = nullptr;
 };
 
 struct RetrievedLod {
@@ -100,6 +108,11 @@ class HdovSearcher {
                 const SearchOptions& options, std::vector<RetrievedLod>* result,
                 SearchStats* stats = nullptr);
 
+  // Optional LRU pool in front of the tree-node page reads: pages hit in
+  // the pool cost no simulated I/O. Null (the default) reads straight from
+  // the tree device. The pool must wrap the same device.
+  void set_tree_cache(BufferPool* cache) { tree_cache_ = cache; }
+
  private:
   Status SearchNode(VisibilityStore* store, size_t node_index,
                     const SearchOptions& options,
@@ -109,6 +122,7 @@ class HdovSearcher {
   const Scene* scene_;
   const ModelStore* models_;
   PageDevice* tree_device_;
+  BufferPool* tree_cache_ = nullptr;
   double log_fanout_ = 1.0;
   // Several nodes share a page; re-reading the page just read is free
   // (it is still in the transfer buffer).

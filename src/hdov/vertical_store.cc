@@ -60,6 +60,7 @@ Status VerticalStore::BeginCell(CellId cell) {
   if (cell == current_cell_) {
     return Status::OK();
   }
+  ++tstats_.cell_flips;
   // Flip the segment: one sequential scan of N_node pointers.
   HDOV_ASSIGN_OR_RETURN(
       std::string payload,
@@ -85,11 +86,13 @@ Status VerticalStore::GetVPage(uint32_t node_id, VPage* page, bool* visible) {
   const uint64_t ptr = segment_[node_id];
   if (ptr == kNilPointer) {
     // Invisible node: answered from the in-memory segment, no I/O.
+    ++tstats_.invisible_lookups;
     page->clear();
     *visible = false;
     return Status::OK();
   }
   HDOV_RETURN_IF_ERROR(vpages_.ReadRecord(ptr, page));
+  ++tstats_.vpage_fetches;
   *visible = true;
   return Status::OK();
 }

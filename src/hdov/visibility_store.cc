@@ -5,6 +5,21 @@
 
 namespace hdov {
 
+void VisibilityStore::RegisterTelemetry(telemetry::MetricsRegistry* registry,
+                                        const std::string& prefix) const {
+  const VisibilityStoreStats* stats = &tstats_;
+  const std::string base = prefix + ".store." + name();
+  registry->RegisterView(base + ".vpage_fetches", [stats] {
+    return static_cast<double>(stats->vpage_fetches);
+  });
+  registry->RegisterView(base + ".invisible_lookups", [stats] {
+    return static_cast<double>(stats->invisible_lookups);
+  });
+  registry->RegisterView(base + ".cell_flips", [stats] {
+    return static_cast<double>(stats->cell_flips);
+  });
+}
+
 VPageFile::VPageFile(PageDevice* device, size_t record_size)
     : device_(device), record_size_(record_size),
       records_per_page_(std::max<size_t>(1, device->page_size() /

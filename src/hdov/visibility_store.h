@@ -30,6 +30,14 @@ struct CellVPageSet {
   std::vector<VPage> pages;
 };
 
+// Per-store access counters, attributing V-page traffic to its scheme
+// (the telemetry layer exposes them as `<prefix>.store.<scheme>.*`).
+struct VisibilityStoreStats {
+  uint64_t vpage_fetches = 0;      // V-page records read from the file.
+  uint64_t invisible_lookups = 0;  // Lookups answered in memory (no I/O).
+  uint64_t cell_flips = 0;         // BeginCell calls that switched cells.
+};
+
 class VisibilityStore {
  public:
   virtual ~VisibilityStore() = default;
@@ -49,6 +57,17 @@ class VisibilityStore {
   virtual uint64_t SizeBytes() const = 0;
 
   virtual PageDevice* device() const = 0;
+
+  const VisibilityStoreStats& telemetry_stats() const { return tstats_; }
+
+  // Registers read-through views over the per-store counters as
+  // `<prefix>.store.<name()>.vpage_fetches` / `.invisible_lookups` /
+  // `.cell_flips`. The store must outlive the registration.
+  void RegisterTelemetry(telemetry::MetricsRegistry* registry,
+                         const std::string& prefix) const;
+
+ protected:
+  VisibilityStoreStats tstats_;
 };
 
 // VPageFile: shared helper managing fixed-size V-page records packed into

@@ -29,6 +29,22 @@ Result<const std::string*> BufferPool::Get(PageId page) {
   return data;
 }
 
+void BufferPool::RegisterWith(telemetry::MetricsRegistry* registry,
+                              const std::string& prefix) const {
+  const BufferPoolStats* stats = &stats_;
+  registry->RegisterView(prefix + ".hits", [stats] {
+    return static_cast<double>(stats->hits);
+  });
+  registry->RegisterView(prefix + ".misses", [stats] {
+    return static_cast<double>(stats->misses);
+  });
+  registry->RegisterView(prefix + ".evictions", [stats] {
+    return static_cast<double>(stats->evictions);
+  });
+  registry->RegisterView(prefix + ".hit_rate",
+                         [stats] { return stats->HitRate(); });
+}
+
 void BufferPool::Clear() {
   entries_.clear();
   lru_.clear();

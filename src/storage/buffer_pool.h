@@ -47,6 +47,13 @@ class BufferPool {
   const BufferPoolStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferPoolStats(); }
 
+  // Folds the pool's hit/miss/eviction counters (and a derived hit-rate
+  // gauge) into `registry` as `<prefix>.hits`, `.misses`, `.evictions`,
+  // `.hit_rate` read-through views. The pool must outlive the
+  // registration (unregister the prefix before destroying the pool).
+  void RegisterWith(telemetry::MetricsRegistry* registry,
+                    const std::string& prefix) const;
+
  private:
   struct Entry {
     std::string data;

@@ -2,6 +2,10 @@
 // harness reports these (page I/Os, seeks) and the simulated elapsed time
 // derived from them, mirroring the paper's "number of disk I/Os" and
 // "search time" metrics.
+//
+// IoStats remains the storage for the counters; the telemetry layer reads
+// it live through registry views (see PageDevice::RegisterWith), so this
+// struct is also the thin view the MetricsRegistry exposes per device.
 
 #ifndef HDOV_STORAGE_IO_STATS_H_
 #define HDOV_STORAGE_IO_STATS_H_

@@ -152,6 +152,21 @@ Status PageDevice::LoadFromFile(const std::string& path) {
   return Status::OK();
 }
 
+void PageDevice::RegisterWith(telemetry::MetricsRegistry* registry,
+                              const std::string& prefix) const {
+  const IoStats* stats = &stats_;
+  const auto view = [&](const char* name, uint64_t IoStats::*field) {
+    registry->RegisterView(prefix + name, [stats, field] {
+      return static_cast<double>(stats->*field);
+    });
+  };
+  view(".page_reads", &IoStats::page_reads);
+  view(".page_writes", &IoStats::page_writes);
+  view(".seeks", &IoStats::seeks);
+  view(".bytes_read", &IoStats::bytes_read);
+  view(".bytes_written", &IoStats::bytes_written);
+}
+
 void PageDevice::BillRead(PageId first, uint64_t pages) {
   stats_.page_reads += pages;
   stats_.bytes_read += pages * model_.page_size;

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "storage/disk_model.h"
 #include "storage/io_stats.h"
+#include "telemetry/metrics.h"
 
 namespace hdov {
 
@@ -68,6 +69,14 @@ class PageDevice {
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats(); }
+
+  // Folds this device's IoStats counters into `registry` as read-through
+  // views named `<prefix>.page_reads`, `.page_writes`, `.seeks`,
+  // `.bytes_read`, `.bytes_written` — IoStats stays the storage, the
+  // registry reads it live at snapshot time. The device must outlive the
+  // registration (unregister the prefix before destroying the device).
+  void RegisterWith(telemetry::MetricsRegistry* registry,
+                    const std::string& prefix) const;
 
   SimClock& clock() { return *clock_; }
   const SimClock& clock() const { return *clock_; }

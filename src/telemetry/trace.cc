@@ -1,0 +1,146 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+#include "telemetry/json.h"
+
+namespace hdov::telemetry {
+
+double TraceSpan::NumAttrOr(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : num_attrs) {
+    if (k == key) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+const std::string* TraceSpan::StrAttr(std::string_view key) const {
+  for (const auto& [k, v] : str_attrs) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void TraceRecorder::Clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+int32_t TraceRecorder::BeginSpan(std::string_view name) {
+  if (!enabled_) {
+    return kNoSpan;
+  }
+  TraceSpan span;
+  span.name.assign(name);
+  span.parent = open_.empty() ? kNoSpan : open_.back();
+  const int32_t id = static_cast<int32_t>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(id);
+  return id;
+}
+
+void TraceRecorder::EndSpan(int32_t span) {
+  if (span == kNoSpan) {
+    return;
+  }
+  // Close any children left open (defensive: RAII call sites make this a
+  // no-op), then the span itself.
+  while (!open_.empty()) {
+    const int32_t top = open_.back();
+    open_.pop_back();
+    spans_[static_cast<size_t>(top)].closed = true;
+    if (top == span) {
+      return;
+    }
+  }
+}
+
+void TraceRecorder::AddAttr(int32_t span, std::string_view key,
+                            double value) {
+  if (span == kNoSpan) {
+    return;
+  }
+  spans_[static_cast<size_t>(span)].num_attrs.emplace_back(std::string(key),
+                                                           value);
+}
+
+void TraceRecorder::AddAttr(int32_t span, std::string_view key,
+                            std::string_view value) {
+  if (span == kNoSpan) {
+    return;
+  }
+  spans_[static_cast<size_t>(span)].str_attrs.emplace_back(
+      std::string(key), std::string(value));
+}
+
+std::vector<size_t> TraceRecorder::Children(int32_t parent) const {
+  std::vector<size_t> children;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent == parent) {
+      children.push_back(i);
+    }
+  }
+  return children;
+}
+
+size_t TraceRecorder::CountNamed(std::string_view name) const {
+  return static_cast<size_t>(
+      std::count_if(spans_.begin(), spans_.end(),
+                    [&](const TraceSpan& s) { return s.name == name; }));
+}
+
+namespace {
+
+void WriteSpan(const TraceRecorder& recorder,
+               const std::vector<std::vector<size_t>>& children, size_t index,
+               JsonWriter* w) {
+  const TraceSpan& span = recorder.span(index);
+  w->BeginObject();
+  w->Key("name").String(span.name);
+  if (!span.num_attrs.empty() || !span.str_attrs.empty()) {
+    w->Key("attrs").BeginObject();
+    for (const auto& [key, value] : span.num_attrs) {
+      w->Key(key).Number(value);
+    }
+    for (const auto& [key, value] : span.str_attrs) {
+      w->Key(key).String(value);
+    }
+    w->EndObject();
+  }
+  if (!children[index].empty()) {
+    w->Key("children").BeginArray();
+    for (size_t child : children[index]) {
+      WriteSpan(recorder, children, child, w);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  // Children lists in one pass (spans are stored in creation order, so
+  // every child index is greater than its parent's).
+  std::vector<std::vector<size_t>> children(spans_.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent == kNoSpan) {
+      roots.push_back(i);
+    } else {
+      children[static_cast<size_t>(spans_[i].parent)].push_back(i);
+    }
+  }
+  JsonWriter w;
+  w.BeginArray();
+  for (size_t root : roots) {
+    WriteSpan(*this, children, root, &w);
+  }
+  w.EndArray();
+  return w.TakeString();
+}
+
+}  // namespace hdov::telemetry

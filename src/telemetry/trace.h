@@ -1,0 +1,111 @@
+// TraceSpan / TraceRecorder: a per-frame event tree for the threshold
+// search. A recorder collects nested spans — e.g. one "search" root per
+// query, a "node" span per visited HDoV node, and leaf spans for the
+// prune / internal-LoD-terminate / descend decisions, each carrying
+// numeric attributes (DoV, NVO, the Eq. 4 verdict, V-page fetch counts).
+//
+// Recording is opt-in twice over: instrumented code only touches the
+// recorder when one is wired in, and a disabled recorder turns BeginSpan
+// into a single branch. A disabled (or null) recorder costs nothing on
+// the hot path.
+
+#ifndef HDOV_TELEMETRY_TRACE_H_
+#define HDOV_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hdov::telemetry {
+
+struct TraceSpan {
+  std::string name;
+  int32_t parent = -1;  // Index into the recorder's span array; -1 = root.
+  bool closed = false;
+  std::vector<std::pair<std::string, double>> num_attrs;
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+
+  double NumAttrOr(std::string_view key, double fallback) const;
+  const std::string* StrAttr(std::string_view key) const;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr int32_t kNoSpan = -1;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Drops all recorded spans (the open-span stack included).
+  void Clear();
+
+  // Opens a span under the currently open span (or as a root). Returns
+  // kNoSpan when disabled; every other call accepts kNoSpan as a no-op,
+  // so call sites need no disabled-checks of their own.
+  int32_t BeginSpan(std::string_view name);
+  void EndSpan(int32_t span);
+
+  void AddAttr(int32_t span, std::string_view key, double value);
+  void AddAttr(int32_t span, std::string_view key, std::string_view value);
+
+  size_t num_spans() const { return spans_.size(); }
+  const TraceSpan& span(size_t i) const { return spans_[i]; }
+  size_t open_depth() const { return open_.size(); }
+
+  // Indices of the direct children of `parent` (kNoSpan = roots).
+  std::vector<size_t> Children(int32_t parent) const;
+
+  // Spans with `name` anywhere in the tree.
+  size_t CountNamed(std::string_view name) const;
+
+  // The whole forest as nested JSON:
+  //   [{"name":..., "attrs":{...}, "children":[...]}, ...]
+  std::string ToJson() const;
+
+ private:
+  bool enabled_ = true;
+  std::vector<TraceSpan> spans_;
+  std::vector<int32_t> open_;  // Stack of open span indices.
+};
+
+// RAII span: opens on construction (when a recorder is given), closes on
+// destruction. The searcher uses this so early error returns cannot leak
+// open spans.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string_view name)
+      : recorder_(recorder),
+        id_(recorder != nullptr ? recorder->BeginSpan(name)
+                                : TraceRecorder::kNoSpan) {}
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->EndSpan(id_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  int32_t id() const { return id_; }
+
+  void Attr(std::string_view key, double value) {
+    if (recorder_ != nullptr) {
+      recorder_->AddAttr(id_, key, value);
+    }
+  }
+  void Attr(std::string_view key, std::string_view value) {
+    if (recorder_ != nullptr) {
+      recorder_->AddAttr(id_, key, value);
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  int32_t id_;
+};
+
+}  // namespace hdov::telemetry
+
+#endif  // HDOV_TELEMETRY_TRACE_H_

@@ -15,6 +15,15 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
     system->ResetRuntime();
   }
 
+  // Stamp the session name into every frame record emitted below, and
+  // restore whatever context the caller had set when the session ends.
+  telemetry::Telemetry* telemetry = system->telemetry();
+  const std::string saved_context =
+      telemetry != nullptr ? telemetry->context() : std::string();
+  if (telemetry != nullptr) {
+    telemetry->set_context(session.name);
+  }
+
   SessionSummary summary;
   summary.system_name = system->name();
   summary.session_name = session.name;
@@ -28,7 +37,13 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
 
   for (const Viewpoint& vp : session.frames) {
     FrameResult frame;
-    HDOV_RETURN_IF_ERROR(system->RenderFrame(vp, &frame));
+    Status status = system->RenderFrame(vp, &frame);
+    if (!status.ok()) {
+      if (telemetry != nullptr) {
+        telemetry->set_context(saved_context);
+      }
+      return status;
+    }
     sum_time += frame.frame_time_ms;
     sum_time_sq += frame.frame_time_ms * frame.frame_time_ms;
     sum_query += frame.query_time_ms;
@@ -49,6 +64,22 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
   summary.avg_query_time_ms = sum_query / n;
   summary.avg_io_pages = sum_io / n;
   summary.avg_light_io_pages = sum_light_io / n;
+
+  if (telemetry != nullptr) {
+    telemetry->set_context(saved_context);
+    if (telemetry->enabled()) {
+      // Session-level aggregates as gauges, keyed by system and session.
+      telemetry::MetricsRegistry& m = telemetry->metrics();
+      const std::string base = system->telemetry_prefix() + ".session." +
+                               session.name;
+      m.GetGauge(base + ".avg_frame_time_ms")
+          ->Set(summary.avg_frame_time_ms);
+      m.GetGauge(base + ".var_frame_time")->Set(summary.var_frame_time);
+      m.GetGauge(base + ".avg_io_pages")->Set(summary.avg_io_pages);
+      m.GetGauge(base + ".max_resident_bytes")
+          ->Set(static_cast<double>(summary.max_resident_bytes));
+    }
+  }
   return summary;
 }
 

@@ -42,6 +42,15 @@ Result<std::unique_ptr<LodRTreeSystem>> LodRTreeSystem::Create(
   return system;
 }
 
+void LodRTreeSystem::RegisterTelemetry() {
+  telemetry::MetricsRegistry& m = telemetry()->metrics();
+  const std::string& p = telemetry_prefix();
+  index_device_.RegisterWith(&m, p + ".io.index");
+  model_device_.RegisterWith(&m, p + ".io.model");
+  frame_time_hist_ = m.GetHistogram(
+      p + ".frame.time_ms", telemetry::ExponentialBuckets(0.25, 2.0, 14));
+}
+
 std::vector<Aabb> LodRTreeSystem::QueryBoxes(
     const Viewpoint& viewpoint) const {
   std::vector<Aabb> boxes;
@@ -124,12 +133,18 @@ Status LodRTreeSystem::RenderFrame(const Viewpoint& viewpoint,
       result->light_io_pages + model1.Delta(model0).page_reads;
   result->rendered_triangles = triangles;
   result->models_fetched = fetched;
+  result->index_bytes_read = light1.Delta(light0).bytes_read;
+  result->model_bytes_read = model1.Delta(model0).bytes_read;
   result->resident_bytes = 0;
   for (const auto& [id, entry] : resident_) {
     result->resident_bytes += entry.second;
   }
   result->frame_time_ms =
       result->query_time_ms + options_.render.FrameMillis(triangles);
+  if (TelemetryOn()) {
+    frame_time_hist_->Observe(result->frame_time_ms);
+    EmitFrameRecord(*result, 0);  // Depth bands, not viewing cells.
+  }
   return Status::OK();
 }
 

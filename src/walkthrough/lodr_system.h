@@ -61,6 +61,8 @@ class LodRTreeSystem : public WalkthroughSystem {
  private:
   LodRTreeSystem(const Scene* scene, const LodRTreeOptions& options);
 
+  void RegisterTelemetry() override;
+
   const Scene* scene_;
   LodRTreeOptions options_;
 
@@ -74,6 +76,7 @@ class LodRTreeSystem : public WalkthroughSystem {
   bool delta_enabled_ = true;
   std::unordered_map<ObjectId, std::pair<uint32_t, uint64_t>> resident_;
   std::vector<RetrievedLod> last_result_;
+  telemetry::Histogram* frame_time_hist_ = nullptr;  // Valid while attached.
 };
 
 }  // namespace hdov

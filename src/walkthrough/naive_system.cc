@@ -51,6 +51,15 @@ Result<std::unique_ptr<NaiveSystem>> NaiveSystem::Create(
   return system;
 }
 
+void NaiveSystem::RegisterTelemetry() {
+  telemetry::MetricsRegistry& m = telemetry()->metrics();
+  const std::string& p = telemetry_prefix();
+  list_device_.RegisterWith(&m, p + ".io.list");
+  model_device_.RegisterWith(&m, p + ".io.model");
+  frame_time_hist_ = m.GetHistogram(
+      p + ".frame.time_ms", telemetry::ExponentialBuckets(0.25, 2.0, 14));
+}
+
 Status NaiveSystem::Query(const Vec3& position, bool fetch_models,
                           std::vector<RetrievedLod>* result) {
   const CellId cell = grid_->ClampedCellForPoint(position);
@@ -130,6 +139,8 @@ Status NaiveSystem::RenderFrame(const Viewpoint& viewpoint,
   result->light_io_pages = light1.Delta(light0).page_reads;
   result->io_pages =
       result->light_io_pages + model1.Delta(model0).page_reads;
+  result->index_bytes_read = light1.Delta(light0).bytes_read;
+  result->model_bytes_read = model1.Delta(model0).bytes_read;
   result->rendered_triangles = triangles;
   result->models_fetched = fetched;
   result->resident_bytes = 0;
@@ -138,6 +149,11 @@ Status NaiveSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   result->frame_time_ms =
       result->query_time_ms + options_.render.FrameMillis(triangles);
+  if (TelemetryOn()) {
+    frame_time_hist_->Observe(result->frame_time_ms);
+    EmitFrameRecord(*result,
+                    grid_->ClampedCellForPoint(viewpoint.position));
+  }
   return Status::OK();
 }
 

@@ -56,6 +56,8 @@ class NaiveSystem : public WalkthroughSystem {
   NaiveSystem(const Scene* scene, const CellGrid* grid,
               const NaiveOptions& options);
 
+  void RegisterTelemetry() override;
+
   const Scene* scene_;
   const CellGrid* grid_;
   NaiveOptions options_;
@@ -73,6 +75,7 @@ class NaiveSystem : public WalkthroughSystem {
   std::vector<std::pair<ObjectId, float>> cached_list_;  // Current cell.
   std::unordered_map<ModelId, uint64_t> resident_;
   std::vector<RetrievedLod> last_result_;
+  telemetry::Histogram* frame_time_hist_ = nullptr;  // Valid while attached.
 };
 
 }  // namespace hdov

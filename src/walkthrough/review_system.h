@@ -68,6 +68,8 @@ class ReviewSystem : public WalkthroughSystem {
  private:
   ReviewSystem(const Scene* scene, const ReviewOptions& options);
 
+  void RegisterTelemetry() override;
+
   Aabb QueryBox(const Vec3& position) const;
   size_t LodLevelForDistance(ObjectId id, double distance) const;
 
@@ -85,6 +87,7 @@ class ReviewSystem : public WalkthroughSystem {
   // object -> (lod level resident, bytes).
   std::unordered_map<ObjectId, std::pair<uint32_t, uint64_t>> resident_;
   std::vector<RetrievedLod> last_result_;
+  telemetry::Histogram* frame_time_hist_ = nullptr;  // Valid while attached.
 };
 
 }  // namespace hdov

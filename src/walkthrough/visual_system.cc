@@ -32,8 +32,49 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
                  &system->store_device_));
   system->searcher_ = std::make_unique<HdovSearcher>(
       &system->tree_, scene, &system->models_, &system->tree_device_);
+  if (options.tree_cache_pages > 0) {
+    system->tree_cache_ = std::make_unique<BufferPool>(
+        &system->tree_device_, options.tree_cache_pages);
+    system->searcher_->set_tree_cache(system->tree_cache_.get());
+  }
   system->ResetIoStats();
   return system;
+}
+
+void VisualSystem::RegisterTelemetry() {
+  telemetry::MetricsRegistry& m = telemetry()->metrics();
+  const std::string& p = telemetry_prefix();
+  tree_device_.RegisterWith(&m, p + ".io.tree");
+  store_device_.RegisterWith(&m, p + ".io.store");
+  model_device_.RegisterWith(&m, p + ".io.model");
+  store_->RegisterTelemetry(&m, p);
+  if (tree_cache_ != nullptr) {
+    tree_cache_->RegisterWith(&m, p + ".cache.tree");
+  }
+  ctr_queries_ = m.GetCounter(p + ".search.queries");
+  ctr_nodes_visited_ = m.GetCounter(p + ".search.nodes_visited");
+  ctr_vpages_fetched_ = m.GetCounter(p + ".search.vpages_fetched");
+  ctr_hidden_pruned_ = m.GetCounter(p + ".search.hidden_pruned");
+  ctr_internal_terminations_ =
+      m.GetCounter(p + ".search.internal_terminations");
+  frame_time_hist_ = m.GetHistogram(
+      p + ".frame.time_ms", telemetry::ExponentialBuckets(0.25, 2.0, 14));
+  // The node-fanout distribution is a build-time property; fill it once.
+  telemetry::Histogram* fanout = m.GetHistogram(
+      p + ".tree.node_fanout",
+      telemetry::LinearBuckets(2.0, 2.0,
+                               std::max<size_t>(2, tree_.fanout() / 2 + 1)));
+  for (size_t i = 0; i < tree_.num_nodes(); ++i) {
+    fanout->Observe(static_cast<double>(tree_.node(i).entries.size()));
+  }
+}
+
+void VisualSystem::CountQuery(const SearchStats& stats) {
+  ctr_queries_->Increment();
+  ctr_nodes_visited_->Add(stats.nodes_visited);
+  ctr_vpages_fetched_->Add(stats.vpages_fetched);
+  ctr_hidden_pruned_->Add(stats.hidden_entries_pruned);
+  ctr_internal_terminations_->Add(stats.internal_terminations);
 }
 
 Status VisualSystem::Query(const Vec3& position, bool fetch_models,
@@ -42,11 +83,41 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
   const CellId cell = grid_->ClampedCellForPoint(position);
   SearchOptions search = options_.search;
   search.eta = options_.eta;
+  const bool telemetry_on = TelemetryOn();
+  SearchStats local_stats;
+  SearchStats* stats_out =
+      stats != nullptr ? stats : (telemetry_on ? &local_stats : nullptr);
+  const double t0 = clock_.NowMillis();
+  const IoStats tree0 = tree_device_.stats();
+  const IoStats store0 = store_device_.stats();
+  const IoStats model0 = model_device_.stats();
+  if (telemetry_on) {
+    search.trace = &telemetry()->tracer();
+  }
   HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), cell, search, result,
-                                         stats));
+                                         stats_out));
   if (fetch_models) {
     for (const RetrievedLod& lod : *result) {
       HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+    }
+  }
+  if (telemetry_on) {
+    CountQuery(*stats_out);
+    if (!in_frame_) {
+      // Standalone query (the Figs. 7-9 bench path): emit its own record.
+      FrameResult r;
+      r.query_time_ms = clock_.NowMillis() - t0;
+      const IoStats tree_d = tree_device_.stats().Delta(tree0);
+      const IoStats store_d = store_device_.stats().Delta(store0);
+      const IoStats model_d = model_device_.stats().Delta(model0);
+      r.light_io_pages = tree_d.page_reads + store_d.page_reads;
+      r.io_pages = r.light_io_pages + model_d.page_reads;
+      r.index_bytes_read = tree_d.bytes_read;
+      r.store_bytes_read = store_d.bytes_read;
+      r.model_bytes_read = model_d.bytes_read;
+      r.search = *stats_out;
+      r.models_fetched = fetch_models ? result->size() : 0;
+      EmitFrameRecord(r, cell, "query");
     }
   }
   return Status::OK();
@@ -70,20 +141,23 @@ Status VisualSystem::QueryWithHeuristic(const Vec3& position,
 Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
                                  FrameResult* result) {
   const double t0 = clock_.NowMillis();
-  const IoStats light0 = [&] {
-    IoStats s = tree_device_.stats();
-    s += store_device_.stats();
-    return s;
-  }();
-  const IoStats total0 = [&] {
-    IoStats s = light0;
-    s += model_device_.stats();
-    return s;
-  }();
+  const IoStats tree0 = tree_device_.stats();
+  const IoStats store0 = store_device_.stats();
+  const IoStats model0 = model_device_.stats();
+  const uint64_t cache_hits0 =
+      tree_cache_ != nullptr ? tree_cache_->stats().hits : 0;
+  const uint64_t cache_misses0 =
+      tree_cache_ != nullptr ? tree_cache_->stats().misses : 0;
+
+  in_frame_ = true;
+  struct InFrameGuard {
+    bool* flag;
+    ~InFrameGuard() { *flag = false; }
+  } in_frame_guard{&in_frame_};
 
   HDOV_RETURN_IF_ERROR(
       Query(viewpoint.position, /*fetch_models=*/false, &last_result_,
-            nullptr));
+            &result->search));
 
   // Delta search: a representation whose owner is already resident at the
   // required (or a finer) LoD is reused; otherwise the requested level is
@@ -123,14 +197,16 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
     resident_.emplace(key, entry);  // Keep current-result entries as-is.
   }
 
-  IoStats light1 = tree_device_.stats();
-  light1 += store_device_.stats();
-  IoStats total1 = light1;
-  total1 += model_device_.stats();
+  const IoStats tree_d = tree_device_.stats().Delta(tree0);
+  const IoStats store_d = store_device_.stats().Delta(store0);
+  const IoStats model_d = model_device_.stats().Delta(model0);
 
   result->query_time_ms = clock_.NowMillis() - t0;
-  result->io_pages = total1.Delta(total0).page_reads;
-  result->light_io_pages = light1.Delta(light0).page_reads;
+  result->light_io_pages = tree_d.page_reads + store_d.page_reads;
+  result->io_pages = result->light_io_pages + model_d.page_reads;
+  result->index_bytes_read = tree_d.bytes_read;
+  result->store_bytes_read = store_d.bytes_read;
+  result->model_bytes_read = model_d.bytes_read;
   result->rendered_triangles = triangles;
   result->models_fetched = fetched;
   result->resident_bytes = 0;
@@ -139,6 +215,18 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   result->frame_time_ms =
       result->query_time_ms + options_.render.FrameMillis(triangles);
+  if (tree_cache_ != nullptr) {
+    const uint64_t hits = tree_cache_->stats().hits - cache_hits0;
+    const uint64_t misses = tree_cache_->stats().misses - cache_misses0;
+    result->cache_hit_rate =
+        hits + misses == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  if (TelemetryOn()) {
+    frame_time_hist_->Observe(result->frame_time_ms);
+    EmitFrameRecord(*result, grid_->ClampedCellForPoint(viewpoint.position));
+  }
   return Status::OK();
 }
 
@@ -189,6 +277,9 @@ void VisualSystem::ResetRuntime() {
   resident_.clear();
   last_result_.clear();
   prefetch_ = PrefetchState();
+  if (tree_cache_ != nullptr) {
+    tree_cache_->Clear();
+  }
 }
 
 IoStats VisualSystem::TotalIoStats() const {

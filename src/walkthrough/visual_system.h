@@ -31,6 +31,11 @@ struct VisualOptions {
   // crossing a cell border does not stall the frame. 0 (default) disables;
   // the walkthrough experiments enable it.
   size_t prefetch_models_per_frame = 0;
+
+  // LRU buffer pool (in pages) in front of the tree-node reads; hit pages
+  // cost no simulated I/O. 0 (default) keeps the paper's uncached billing,
+  // so the Fig. 7-9 numbers are unchanged unless a caller opts in.
+  size_t tree_cache_pages = 0;
 };
 
 class VisualSystem : public WalkthroughSystem {
@@ -77,6 +82,10 @@ class VisualSystem : public WalkthroughSystem {
   VisualSystem(const Scene* scene, const CellGrid* grid,
                const VisualOptions& options);
 
+  void RegisterTelemetry() override;
+  // Folds one query's stats into the registry counters (telemetry only).
+  void CountQuery(const SearchStats& stats);
+
   const Scene* scene_;
   const CellGrid* grid_;
   VisualOptions options_;
@@ -89,6 +98,19 @@ class VisualSystem : public WalkthroughSystem {
   HdovTree tree_;
   std::unique_ptr<VisibilityStore> store_;
   std::unique_ptr<HdovSearcher> searcher_;
+  std::unique_ptr<BufferPool> tree_cache_;  // Only with tree_cache_pages.
+
+  // Registry-owned metric handles; valid only while attached (the base
+  // class unregisters the prefix on detach).
+  telemetry::Counter* ctr_queries_ = nullptr;
+  telemetry::Counter* ctr_nodes_visited_ = nullptr;
+  telemetry::Counter* ctr_vpages_fetched_ = nullptr;
+  telemetry::Counter* ctr_hidden_pruned_ = nullptr;
+  telemetry::Counter* ctr_internal_terminations_ = nullptr;
+  telemetry::Histogram* frame_time_hist_ = nullptr;
+  // True while RenderFrame runs, so its inner Query does not emit a
+  // second (kind "query") record for the same frame.
+  bool in_frame_ = false;
 
   // Delta search bookkeeping, keyed by representation *owner* (object or
   // internal node): a resident representation at least as fine as the one

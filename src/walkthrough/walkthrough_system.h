@@ -13,6 +13,7 @@
 #include "hdov/search.h"
 #include "scene/session.h"
 #include "storage/io_stats.h"
+#include "telemetry/telemetry.h"
 
 namespace hdov {
 
@@ -24,11 +25,22 @@ struct FrameResult {
   uint64_t rendered_triangles = 0;
   size_t models_fetched = 0;    // Representations newly read from disk.
   uint64_t resident_bytes = 0;  // Model memory held after the frame.
+
+  // Per-device byte breakdown of this frame's reads (index = tree /
+  // R-tree / cell-list file, store = V-page file, model = model data).
+  uint64_t index_bytes_read = 0;
+  uint64_t store_bytes_read = 0;
+  uint64_t model_bytes_read = 0;
+
+  // Threshold-search decision counts (HDoV systems; zero elsewhere).
+  SearchStats search;
+  // Tree-page buffer-pool hit rate this frame (0 when no pool is wired).
+  double cache_hit_rate = 0.0;
 };
 
 class WalkthroughSystem {
  public:
-  virtual ~WalkthroughSystem() = default;
+  virtual ~WalkthroughSystem() { DetachTelemetry(); }
 
   virtual std::string name() const = 0;
 
@@ -51,6 +63,75 @@ class WalkthroughSystem {
   // Cumulative I/O across all of the system's devices.
   virtual IoStats TotalIoStats() const = 0;
   virtual void ResetIoStats() = 0;
+
+  // Wires the system into a telemetry context: its device / store / search
+  // counters register under `prefix` (e.g. `<prefix>.io.tree.page_reads`)
+  // and every RenderFrame appends one FrameRecord. The system unregisters
+  // everything on detach or destruction, so `telemetry` must outlive the
+  // attachment, not the system.
+  void AttachTelemetry(telemetry::Telemetry* telemetry,
+                       const std::string& prefix) {
+    DetachTelemetry();
+    if (telemetry == nullptr) {
+      return;
+    }
+    telemetry_ = telemetry;
+    telemetry_prefix_ = prefix;
+    RegisterTelemetry();
+  }
+
+  void DetachTelemetry() {
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics().UnregisterPrefix(telemetry_prefix_ + ".");
+      telemetry_ = nullptr;
+      telemetry_prefix_.clear();
+    }
+  }
+
+  telemetry::Telemetry* telemetry() const { return telemetry_; }
+  const std::string& telemetry_prefix() const { return telemetry_prefix_; }
+
+ protected:
+  bool TelemetryOn() const {
+    return telemetry_ != nullptr && telemetry_->enabled();
+  }
+
+  // Called once per AttachTelemetry; subclasses register their devices,
+  // counters and histograms under telemetry_prefix().
+  virtual void RegisterTelemetry() {}
+
+  // Appends the per-frame record for an instrumented frame (no-op when
+  // telemetry is off).
+  void EmitFrameRecord(const FrameResult& result, uint64_t cell,
+                       const std::string& kind = "frame") {
+    if (!TelemetryOn()) {
+      return;
+    }
+    telemetry::FrameRecord rec;
+    rec.system = telemetry_prefix_;
+    rec.kind = kind;
+    rec.cell = cell;
+    rec.frame_time_ms = result.frame_time_ms;
+    rec.query_time_ms = result.query_time_ms;
+    rec.io_pages = result.io_pages;
+    rec.light_io_pages = result.light_io_pages;
+    rec.index_bytes_read = result.index_bytes_read;
+    rec.store_bytes_read = result.store_bytes_read;
+    rec.model_bytes_read = result.model_bytes_read;
+    rec.nodes_visited = result.search.nodes_visited;
+    rec.vpages_fetched = result.search.vpages_fetched;
+    rec.hidden_pruned = result.search.hidden_entries_pruned;
+    rec.internal_terminations = result.search.internal_terminations;
+    rec.cache_hit_rate = result.cache_hit_rate;
+    rec.rendered_triangles = result.rendered_triangles;
+    rec.models_fetched = result.models_fetched;
+    rec.resident_bytes = result.resident_bytes;
+    telemetry_->RecordFrame(std::move(rec));
+  }
+
+ private:
+  telemetry::Telemetry* telemetry_ = nullptr;
+  std::string telemetry_prefix_;
 };
 
 }  // namespace hdov

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "scene/city_generator.h"
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
 #include "walkthrough/fidelity.h"
 #include "walkthrough/frame_loop.h"
 #include "walkthrough/naive_system.h"
@@ -502,6 +504,132 @@ TEST_F(WalkthroughFixture, PlaySessionRejectsEmpty) {
   auto visual = MakeVisual(0.001);
   Session empty;
   EXPECT_FALSE(PlaySession(visual.get(), empty).ok());
+}
+
+TEST_F(WalkthroughFixture, TelemetryFrameRecordsMatchIoStats) {
+  telemetry::Telemetry tel;  // Declared first: outlives the system.
+  auto visual = MakeVisual(0.001);
+  visual->AttachTelemetry(&tel, "visual");
+
+  const uint64_t reads_before = visual->TotalIoStats().page_reads;
+  for (CellId c = 0; c < grid_->num_cells(); ++c) {
+    FrameResult f;
+    ASSERT_TRUE(
+        visual->RenderFrame({grid_->CellCenter(c), Vec3(1, 0, 0)}, &f).ok());
+  }
+  const uint64_t reads_delta =
+      visual->TotalIoStats().page_reads - reads_before;
+
+  ASSERT_EQ(tel.frames().size(), grid_->num_cells());
+  uint64_t recorded_io = 0;
+  uint64_t recorded_queries = 0;
+  for (const telemetry::FrameRecord& f : tel.frames()) {
+    EXPECT_EQ(f.system, "visual");
+    EXPECT_EQ(f.kind, "frame");  // The inner Query emits no extra record.
+    recorded_io += f.io_pages;
+    recorded_queries += f.nodes_visited > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(recorded_io, reads_delta);
+  EXPECT_GT(recorded_queries, 0u);
+
+  // The search counters agree with the sum over frame records.
+  telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
+  ASSERT_NE(snap.Find("visual.search.queries"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.Find("visual.search.queries")->value,
+                   static_cast<double>(grid_->num_cells()));
+  uint64_t nodes = 0;
+  for (const telemetry::FrameRecord& f : tel.frames()) {
+    nodes += f.nodes_visited;
+  }
+  EXPECT_DOUBLE_EQ(snap.Find("visual.search.nodes_visited")->value,
+                   static_cast<double>(nodes));
+  // Device and store views are present and live.
+  ASSERT_NE(snap.Find("visual.io.tree.page_reads"), nullptr);
+  EXPECT_GT(snap.Find("visual.io.tree.page_reads")->value, 0.0);
+  ASSERT_NE(snap.Find("visual.store.indexed-vertical.vpage_fetches"),
+            nullptr);
+  EXPECT_GT(snap.Find("visual.store.indexed-vertical.vpage_fetches")->value,
+            0.0);
+
+  // Detaching removes every view under the prefix.
+  visual->DetachTelemetry();
+  EXPECT_EQ(tel.metrics().size(), 0u);
+}
+
+TEST_F(WalkthroughFixture, TelemetryTreeCacheReportsHitRate) {
+  telemetry::Telemetry tel;
+  VisualOptions opt;
+  opt.eta = 0.001;
+  opt.build.rtree.max_entries = 8;
+  opt.build.rtree.min_entries = 3;
+  opt.tree_cache_pages = 64;
+  Result<std::unique_ptr<VisualSystem>> visual =
+      VisualSystem::Create(scene_, grid_, table_, opt);
+  ASSERT_TRUE(visual.ok()) << visual.status().ToString();
+  (*visual)->AttachTelemetry(&tel, "cached");
+
+  Viewpoint vp = CenterViewpoint();
+  FrameResult first, second;
+  ASSERT_TRUE((*visual)->RenderFrame(vp, &first).ok());
+  (*visual)->set_delta_enabled(false);
+  ASSERT_TRUE((*visual)->RenderFrame(vp, &second).ok());
+  // The second full traversal reads the same node pages: all pool hits.
+  EXPECT_GT(second.cache_hit_rate, 0.0);
+  const telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
+  ASSERT_NE(snap.Find("cached.cache.tree.hit_rate"), nullptr);
+  EXPECT_GT(snap.Find("cached.cache.tree.hit_rate")->value, 0.0);
+}
+
+TEST_F(WalkthroughFixture, TelemetryQueryTraceHasSearchSpans) {
+  telemetry::Telemetry tel;
+  tel.tracer().set_enabled(true);
+  auto visual = MakeVisual(0.001);
+  visual->AttachTelemetry(&tel, "visual");
+
+  std::vector<RetrievedLod> result;
+  SearchStats stats;
+  ASSERT_TRUE(visual
+                  ->Query(CenterViewpoint().position,
+                          /*fetch_models=*/false, &result, &stats)
+                  .ok());
+  const telemetry::TraceRecorder& rec = tel.tracer();
+  ASSERT_EQ(rec.CountNamed("search"), 1u);
+  EXPECT_EQ(rec.CountNamed("node"), stats.nodes_visited);
+  EXPECT_EQ(rec.CountNamed("prune"), stats.hidden_entries_pruned);
+  EXPECT_EQ(rec.CountNamed("terminate"), stats.internal_terminations);
+  EXPECT_EQ(rec.open_depth(), 0u);
+  // Standalone queries emit kind="query" records.
+  ASSERT_EQ(tel.frames().size(), 1u);
+  EXPECT_EQ(tel.frames()[0].kind, "query");
+  EXPECT_EQ(tel.frames()[0].nodes_visited, stats.nodes_visited);
+  // The snapshot (with trace) is valid JSON.
+  Result<telemetry::JsonValue> parsed =
+      telemetry::ParseJson(tel.SnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("trace"), nullptr);
+}
+
+TEST_F(WalkthroughFixture, TelemetrySessionGaugesWrittenByFrameLoop) {
+  telemetry::Telemetry tel;
+  auto visual = MakeVisual(0.001);
+  visual->AttachTelemetry(&tel, "visual");
+  Session session = RecordSession(MotionPattern::kNormalWalk,
+                                  scene_->bounds(), SessionOptions{
+                                      .num_frames = 20,
+                                  });
+  session.name = "walk";
+  Result<SessionSummary> summary = PlaySession(visual.get(), session);
+  ASSERT_TRUE(summary.ok());
+  const telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
+  const telemetry::MetricSample* avg =
+      snap.Find("visual.session.walk.avg_frame_time_ms");
+  ASSERT_NE(avg, nullptr);
+  EXPECT_NEAR(avg->value, summary->avg_frame_time_ms, 1e-9);
+  for (const telemetry::FrameRecord& f : tel.frames()) {
+    EXPECT_EQ(f.context, "walk");
+  }
+  // The context is restored after the session.
+  EXPECT_TRUE(tel.context().empty());
 }
 
 TEST_F(WalkthroughFixture, VisualOutperformsReviewOnFrameTime) {
