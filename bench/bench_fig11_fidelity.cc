@@ -133,6 +133,7 @@ int Run(const BenchArgs& args) {
   fpopt.dov.cubemap.face_resolution = 48;
   fpopt.dov.geometry = OccluderGeometry::kMeshLod;
   fpopt.samples_per_cell = 1;
+  fpopt.threads = BenchThreads();
   Result<VisibilityTable> ftable =
       PrecomputeVisibility(*full_city, *fgrid, fpopt);
   if (!fgrid.ok() || !ftable.ok()) {

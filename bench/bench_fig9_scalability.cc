@@ -38,6 +38,7 @@ int Run(const BenchArgs& args) {
     PrecomputeOptions popt;
     popt.dov.cubemap.face_resolution = 16;
     popt.samples_per_cell = 1;
+    popt.threads = BenchThreads();
     Result<VisibilityTable> table = PrecomputeVisibility(*scene, *grid, popt);
     if (!grid.ok() || !table.ok()) {
       std::fprintf(stderr, "precompute failed\n");

@@ -13,6 +13,7 @@
 #include "mesh/primitives.h"
 #include "rtree/linear_split.h"
 #include "rtree/rtree.h"
+#include "scene/cell_grid.h"
 #include "scene/city_generator.h"
 #include "simplify/simplifier.h"
 #include "storage/buffer_pool.h"
@@ -137,11 +138,62 @@ void BM_BufferPoolGet(benchmark::State& state) {
   BufferPool pool(&device, static_cast<size_t>(state.range(0)));
   Rng rng(5);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pool.Get(rng.NextUint64(kPages)));
+    Result<BufferPool::PageRef> ref = pool.Get(rng.NextUint64(kPages));
+    benchmark::DoNotOptimize(ref.ok());
   }
   state.counters["hit_rate"] = pool.stats().HitRate();
 }
 BENCHMARK(BM_BufferPoolGet)->Arg(64)->Arg(512)->Arg(1024);
+
+// Thread scaling of the per-cell DoV precompute (the parallel build
+// path). Per-cell work is independent, so real time should drop
+// near-linearly with threads while the produced table stays
+// bit-identical; compare the ms/op column across the thread args.
+class PrecomputeFixture {
+ public:
+  static PrecomputeFixture& Get() {
+    static PrecomputeFixture* instance = new PrecomputeFixture();
+    return *instance;
+  }
+
+  Scene scene;
+  std::unique_ptr<CellGrid> grid;
+
+ private:
+  PrecomputeFixture() {
+    CityOptions copt;
+    copt.mode = GeometryMode::kProxy;
+    copt.blocks_x = 12;
+    copt.blocks_y = 12;
+    scene = std::move(*GenerateCity(copt));
+    CellGridOptions gopt;
+    gopt.cells_x = 12;
+    gopt.cells_y = 12;
+    grid = std::make_unique<CellGrid>(
+        std::move(*CellGrid::Build(scene.bounds(), gopt)));
+  }
+};
+
+void BM_PrecomputeVisibilityThreads(benchmark::State& state) {
+  PrecomputeFixture& fx = PrecomputeFixture::Get();
+  PrecomputeOptions popt;
+  popt.dov.cubemap.face_resolution = 32;
+  popt.samples_per_cell = 1;
+  popt.threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Result<VisibilityTable> table =
+        PrecomputeVisibility(fx.scene, *fx.grid, popt);
+    benchmark::DoNotOptimize(table.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * fx.grid->num_cells());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PrecomputeVisibilityThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // Ablation: full HDoV search with and without the Eq. 4 NVO heuristic.
 class SearchFixture {

@@ -34,13 +34,24 @@ inline bool LargeScale() {
 
 struct BenchArgs {
   std::string telemetry_out;  // Empty = telemetry stays off.
+  uint32_t threads = 1;       // Precompute/build workers (0 = hardware).
 };
+
+// The parsed --threads value, readable from DefaultTestbedOptions and
+// DefaultVisualOptions so every bench gets the flag without per-bench
+// plumbing. Thread count never changes any simulated number — only
+// build wall-clock — so the figures are unaffected.
+inline uint32_t& BenchThreads() {
+  static uint32_t threads = 1;
+  return threads;
+}
 
 // Parses the flags shared by every experiment binary. Unknown flags abort
 // so a typo does not silently run without its effect.
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   constexpr const char kOut[] = "--telemetry-out=";
+  constexpr const char kThreads[] = "--threads=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0) {
       args.telemetry_out = argv[i] + sizeof(kOut) - 1;
@@ -48,9 +59,19 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
         std::fprintf(stderr, "--telemetry-out needs a path\n");
         std::exit(2);
       }
+    } else if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
+      char* end = nullptr;
+      const char* value = argv[i] + sizeof(kThreads) - 1;
+      const unsigned long parsed = std::strtoul(value, &end, 10);
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "--threads needs a number (0 = hardware)\n");
+        std::exit(2);
+      }
+      args.threads = static_cast<uint32_t>(parsed);
+      BenchThreads() = args.threads;
     } else {
-      std::fprintf(stderr, "unknown flag %s (supported: %s<path>)\n",
-                   argv[i], kOut);
+      std::fprintf(stderr, "unknown flag %s (supported: %s<path>, %sN)\n",
+                   argv[i], kOut, kThreads);
       std::exit(2);
     }
   }
@@ -105,6 +126,7 @@ struct TestbedOptions {
   int face_resolution = 64;
   int samples_per_cell = 1;
   uint64_t seed = 20030101;
+  uint32_t threads = 1;   // Precompute workers (0 = hardware).
 };
 
 struct Testbed {
@@ -115,6 +137,7 @@ struct Testbed {
 
 inline TestbedOptions DefaultTestbedOptions() {
   TestbedOptions opt;
+  opt.threads = BenchThreads();
   if (LargeScale()) {
     opt.blocks = 20;
     opt.cells = 24;
@@ -149,6 +172,7 @@ inline Testbed BuildTestbed(const TestbedOptions& opt) {
   PrecomputeOptions popt;
   popt.dov.cubemap.face_resolution = opt.face_resolution;
   popt.samples_per_cell = opt.samples_per_cell;
+  popt.threads = opt.threads;
   Result<VisibilityTable> table = PrecomputeVisibility(*scene, *grid, popt);
   if (!table.ok()) {
     std::fprintf(stderr, "testbed: %s\n", table.status().ToString().c_str());
@@ -165,6 +189,7 @@ inline VisualOptions DefaultVisualOptions() {
   opt.build.rtree.max_entries = 8;
   opt.build.rtree.min_entries = 3;
   opt.prefetch_models_per_frame = 2;  // Smooths walkthrough cell flips.
+  opt.build_threads = BenchThreads();
   return opt;
 }
 

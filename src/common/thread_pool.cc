@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace hdov {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) {
+    return;  // Inline mode.
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutdown with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(0, i);
+    }
+    return;
+  }
+  // Self-scheduling: each participant grabs the next unclaimed index.
+  // Dynamic assignment load-balances variable per-item cost; determinism
+  // is the caller's per-index independence, not the schedule.
+  std::atomic<size_t> next{0};
+  auto drain = [&next, n, &fn](size_t slot) {
+    for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      fn(slot, i);
+    }
+  };
+  const size_t participants = std::min(workers_.size(), n);
+  for (size_t w = 0; w < participants; ++w) {
+    Submit([&drain, w] { drain(w); });
+  }
+  drain(workers_.size());  // The calling thread helps too, on its own slot.
+  Wait();  // Orders the workers' use of `next`/`drain` before our return.
+}
+
+size_t ThreadPool::ResolveThreads(size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace hdov

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "hdov/bitmap_vertical_store.h"
 #include "hdov/horizontal_store.h"
 #include "hdov/indexed_vertical_store.h"
@@ -230,12 +231,13 @@ CellVPageSet ComputeCellVPages(const HdovTree& tree,
 }
 
 std::vector<CellVPageSet> ComputeAllCellVPages(const HdovTree& tree,
-                                               const VisibilityTable& table) {
-  std::vector<CellVPageSet> cells;
-  cells.reserve(table.num_cells());
-  for (CellId c = 0; c < table.num_cells(); ++c) {
-    cells.push_back(ComputeCellVPages(tree, table.cell(c)));
-  }
+                                               const VisibilityTable& table,
+                                               uint32_t threads) {
+  std::vector<CellVPageSet> cells(table.num_cells());
+  ThreadPool pool(ThreadPool::ResolveThreads(threads));
+  pool.ParallelFor(table.num_cells(), [&](size_t, size_t c) {
+    cells[c] = ComputeCellVPages(tree, table.cell(static_cast<CellId>(c)));
+  });
   return cells;
 }
 
@@ -255,8 +257,8 @@ std::string StorageSchemeName(StorageScheme scheme) {
 
 Result<std::unique_ptr<VisibilityStore>> BuildStore(
     StorageScheme scheme, const HdovTree& tree, const VisibilityTable& table,
-    PageDevice* device) {
-  std::vector<CellVPageSet> cells = ComputeAllCellVPages(tree, table);
+    PageDevice* device, uint32_t threads) {
+  std::vector<CellVPageSet> cells = ComputeAllCellVPages(tree, table, threads);
   switch (scheme) {
     case StorageScheme::kHorizontal: {
       HDOV_ASSIGN_OR_RETURN(auto store,

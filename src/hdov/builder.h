@@ -75,8 +75,13 @@ class HdovBuilder {
 CellVPageSet ComputeCellVPages(const HdovTree& tree,
                                const CellVisibility& cell);
 
+// Derives every cell's V-pages. Cells are independent, so with threads !=
+// 1 the per-cell aggregation fans out over a worker pool (0 = one worker
+// per hardware thread); each worker writes only its own cells' slots and
+// the result is identical for every thread count.
 std::vector<CellVPageSet> ComputeAllCellVPages(const HdovTree& tree,
-                                               const VisibilityTable& table);
+                                               const VisibilityTable& table,
+                                               uint32_t threads = 1);
 
 enum class StorageScheme : uint8_t {
   kHorizontal = 0,
@@ -89,10 +94,12 @@ enum class StorageScheme : uint8_t {
 
 std::string StorageSchemeName(StorageScheme scheme);
 
-// Builds the chosen storage scheme over `device` from the visibility table.
+// Builds the chosen storage scheme over `device` from the visibility
+// table. `threads` parallelizes the per-cell V-page derivation (the
+// device writes stay sequential); see ComputeAllCellVPages.
 Result<std::unique_ptr<VisibilityStore>> BuildStore(
     StorageScheme scheme, const HdovTree& tree, const VisibilityTable& table,
-    PageDevice* device);
+    PageDevice* device, uint32_t threads = 1);
 
 }  // namespace hdov
 

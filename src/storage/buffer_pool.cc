@@ -2,31 +2,53 @@
 
 namespace hdov {
 
-Result<const std::string*> BufferPool::Get(PageId page) {
+Result<BufferPool::PageRef> BufferPool::Get(PageId page) {
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     ++stats_.hits;
     lru_.erase(it->second->lru_it);
     lru_.push_front(page);
     it->second->lru_it = lru_.begin();
-    return static_cast<const std::string*>(&it->second->data);
+    ++it->second->pins;
+    return PageRef(this, it->second.get());
   }
 
   ++stats_.misses;
   auto entry = std::make_unique<Entry>();
   HDOV_RETURN_IF_ERROR(device_->Read(page, &entry->data));
 
-  while (entries_.size() >= capacity_) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    entries_.erase(victim);
-    ++stats_.evictions;
-  }
   lru_.push_front(page);
   entry->lru_it = lru_.begin();
-  const std::string* data = &entry->data;
+  entry->pins = 1;  // The ref handed back below.
+  Entry* raw = entry.get();
   entries_.emplace(page, std::move(entry));
-  return data;
+  // The new entry is pinned, so trimming can only shed older unpinned
+  // entries; afterwards at most `capacity_` unpinned entries remain.
+  TrimToCapacity();
+  return PageRef(this, raw);
+}
+
+void BufferPool::TrimToCapacity() {
+  auto it = lru_.end();
+  while (entries_.size() > capacity_ && it != lru_.begin()) {
+    --it;
+    auto found = entries_.find(*it);
+    assert(found != entries_.end());
+    if (found->second->pins > 0) {
+      continue;  // Pinned pages are un-evictable (pin-through).
+    }
+    it = lru_.erase(it);
+    entries_.erase(found);
+    ++stats_.evictions;
+  }
+}
+
+void BufferPool::Unpin(Entry* entry) {
+  assert(entry->pins > 0);
+  --entry->pins;
+  if (entry->pins == 0 && entries_.size() > capacity_) {
+    TrimToCapacity();
+  }
 }
 
 void BufferPool::RegisterWith(telemetry::MetricsRegistry* registry,
@@ -46,8 +68,15 @@ void BufferPool::RegisterWith(telemetry::MetricsRegistry* registry,
 }
 
 void BufferPool::Clear() {
-  entries_.clear();
-  lru_.clear();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second->pins > 0) {
+      ++it;  // A live PageRef keeps its page; see header contract.
+    } else {
+      lru_.erase(it->second->lru_it);
+      it = entries_.erase(it);
+    }
+  }
+  ResetStats();
 }
 
 }  // namespace hdov

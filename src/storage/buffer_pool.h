@@ -1,10 +1,21 @@
 // BufferPool: an LRU page cache in front of a PageDevice. The walkthrough
 // systems read index pages through the pool; hit pages cost no simulated
 // I/O. Capacity is in pages.
+//
+// Get returns a pinned PageRef handle: the page cannot be evicted while a
+// ref to it is alive, so holding one across further Get calls is safe.
+// Invariants:
+//   - after every Get, at most `capacity()` *unpinned* entries remain
+//     (pins can push the momentary total above capacity — pin-through);
+//   - an unpin that leaves the pool over capacity evicts the excess in
+//     LRU order immediately.
+// A capacity of 0 is therefore legal and means "no caching": every page
+// lives only as long as its refs, and every Get is a miss.
 
 #ifndef HDOV_STORAGE_BUFFER_POOL_H_
 #define HDOV_STORAGE_BUFFER_POOL_H_
 
+#include <cassert>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -28,18 +39,76 @@ struct BufferPoolStats {
 };
 
 class BufferPool {
+ private:
+  struct Entry;  // Defined below; PageRef holds a pointer to one.
+
  public:
+  // Move-only pinned handle to one cached page. The page's bytes stay
+  // valid (and the entry un-evictable) for the life of the ref; the pool
+  // must outlive every ref it handed out.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept
+        : pool_(other.pool_), entry_(other.entry_) {
+      other.pool_ = nullptr;
+      other.entry_ = nullptr;
+    }
+    PageRef& operator=(PageRef&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        entry_ = other.entry_;
+        other.pool_ = nullptr;
+        other.entry_ = nullptr;
+      }
+      return *this;
+    }
+    ~PageRef() { Release(); }
+
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+
+    bool valid() const { return entry_ != nullptr; }
+    const std::string& data() const {
+      assert(valid());
+      return entry_->data;
+    }
+    const std::string& operator*() const { return data(); }
+    const std::string* operator->() const { return &data(); }
+
+    // Unpins early (idempotent); the ref is empty afterwards.
+    void Release() {
+      if (pool_ != nullptr) {
+        pool_->Unpin(entry_);
+      }
+      pool_ = nullptr;
+      entry_ = nullptr;
+    }
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, Entry* entry) : pool_(pool), entry_(entry) {}
+
+    BufferPool* pool_ = nullptr;
+    Entry* entry_ = nullptr;
+  };
+
   BufferPool(PageDevice* device, size_t capacity_pages)
-      : device_(device), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+      : device_(device), capacity_(capacity_pages) {}
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Returns the page contents, reading through on a miss. The returned
-  // pointer stays valid until the entry is evicted or the pool destroyed;
-  // callers must not hold it across further Get calls (copy if needed).
-  Result<const std::string*> Get(PageId page);
+  // Returns a pinned ref to the page contents, reading through on a miss.
+  Result<PageRef> Get(PageId page);
 
+  // Drops every unpinned entry and resets the hit/miss/eviction counters:
+  // a cleared pool reports statistics for the work after the Clear only
+  // (the walkthrough systems clear between sessions, so per-session
+  // telemetry views read per-session numbers). Entries kept alive by live
+  // refs survive with their pins; dropped entries do not count as
+  // evictions.
   void Clear();
 
   size_t capacity() const { return capacity_; }
@@ -58,7 +127,13 @@ class BufferPool {
   struct Entry {
     std::string data;
     std::list<PageId>::iterator lru_it;
+    uint32_t pins = 0;
   };
+
+  // Evicts unpinned entries in LRU order until size() <= capacity() (or
+  // only pinned entries remain).
+  void TrimToCapacity();
+  void Unpin(Entry* entry);
 
   PageDevice* device_;
   size_t capacity_;

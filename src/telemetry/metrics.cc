@@ -15,12 +15,14 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 
 void Histogram::Observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  std::lock_guard<std::mutex> lock(mu_);
   ++counts_[static_cast<size_t>(it - bounds_.begin())];
   sum_ += value;
   ++count_;
 }
 
 double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     return 0.0;
   }
@@ -48,6 +50,7 @@ double Histogram::Quantile(double q) const {
 }
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   sum_ = 0.0;
   count_ = 0;

@@ -10,13 +10,21 @@
 // valid until that name is removed via UnregisterPrefix; a registered
 // view's source must outlive the view (instrumented objects unregister
 // their prefix on destruction/detach).
+//
+// Thread-safety: *updates* through Counter/Gauge/Histogram handles are
+// safe from any thread (atomics / a per-histogram mutex). The registry
+// itself — GetCounter/RegisterView/UnregisterPrefix/Snapshot — is owner-
+// thread only: register before fanning work out, snapshot after joining
+// (see docs/threading.md).
 
 #ifndef HDOV_TELEMETRY_METRICS_H_
 #define HDOV_TELEMETRY_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -24,45 +32,61 @@
 
 namespace hdov::telemetry {
 
+// Counter/gauge updates and reads are atomic (relaxed), so instrumented
+// code may bump them from worker threads — the parallel precompute does.
+// Relaxed is enough: the metrics are monotone tallies read at snapshot
+// time, after the phase's Wait() has already ordered worker writes.
 class Counter {
  public:
-  void Increment() { ++value_; }
-  void Add(uint64_t n) { value_ += n; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Fixed-bucket histogram: `upper_bounds` (ascending) define the buckets
-// [-inf, b0], (b0, b1], ..., plus an implicit overflow bucket.
+// [-inf, b0], (b0, b1], ..., plus an implicit overflow bucket. Observe and
+// the readers take a mutex, so concurrent observations from workers are
+// safe (bounds_ is immutable after construction and needs no lock).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
   void Observe(double value);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
   double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
   // bounds().size() + 1 buckets; bucket i <= bounds()[i], last = overflow.
   const std::vector<double>& bounds() const { return bounds_; }
   size_t num_buckets() const { return counts_.size(); }
-  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t bucket_count(size_t i) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_[i];
+  }
 
   // Approximate quantile (q in [0, 1]) assuming a uniform distribution
   // within each bucket; the overflow bucket reports its lower bound.
@@ -72,6 +96,7 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  mutable std::mutex mu_;  // Guards counts_/sum_/count_.
   std::vector<uint64_t> counts_;
   double sum_ = 0.0;
   uint64_t count_ = 0;

@@ -29,6 +29,21 @@ void TraceRecorder::Clear() {
   open_.clear();
 }
 
+void TraceRecorder::Merge(const TraceRecorder& other) {
+  if (!enabled_ || other.spans_.empty()) {
+    return;
+  }
+  const int32_t offset = static_cast<int32_t>(spans_.size());
+  const int32_t root_parent = open_.empty() ? kNoSpan : open_.back();
+  spans_.reserve(spans_.size() + other.spans_.size());
+  for (const TraceSpan& span : other.spans_) {
+    TraceSpan copy = span;
+    copy.parent =
+        span.parent == kNoSpan ? root_parent : span.parent + offset;
+    spans_.push_back(std::move(copy));
+  }
+}
+
 int32_t TraceRecorder::BeginSpan(std::string_view name) {
   if (!enabled_) {
     return kNoSpan;

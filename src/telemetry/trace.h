@@ -41,6 +41,14 @@ class TraceRecorder {
   // Drops all recorded spans (the open-span stack included).
   void Clear();
 
+  // Appends every span of `other` (which must hold no open spans) to this
+  // recorder, re-rooting `other`'s roots under the currently open span (or
+  // as roots). This is how per-worker recorders fold into the phase
+  // recorder: each worker records privately, then the owner merges the
+  // buffers in deterministic order after the pool's Wait(). A disabled
+  // destination drops the spans.
+  void Merge(const TraceRecorder& other);
+
   // Opens a span under the currently open span (or as a root). Returns
   // kNoSpan when disabled; every other call accepts kNoSpan as a no-op,
   // so call sites need no disabled-checks of their own.

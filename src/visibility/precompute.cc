@@ -1,6 +1,12 @@
 #include "visibility/precompute.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace hdov {
 
@@ -23,11 +29,6 @@ double VisibilityTable::AverageVisibleObjects() const {
   return total / static_cast<double>(cells_.size());
 }
 
-namespace {
-
-// Moves `p` out of any object MBR it lies inside, along the cheapest axis
-// (smallest penetration). A few rounds handle points inside overlapping
-// boxes; pathological cases give up and return the last position.
 Vec3 PushOutOfObjects(const Scene& scene, Vec3 p) {
   constexpr double kClearance = 0.05;
   for (int round = 0; round < 4; ++round) {
@@ -74,6 +75,8 @@ Vec3 PushOutOfObjects(const Scene& scene, Vec3 p) {
   return p;
 }
 
+namespace {
+
 std::vector<Vec3> CellSamples(const CellGrid& grid, CellId id,
                               int samples_per_cell) {
   const Aabb box = grid.CellBounds(id);
@@ -109,17 +112,62 @@ Result<VisibilityTable> PrecomputeVisibility(
   if (options.samples_per_cell < 1) {
     return Status::InvalidArgument("precompute: need at least one sample");
   }
-  DovComputer computer(&scene, options.dov);
-  std::vector<CellVisibility> cells(grid.num_cells());
-  for (CellId c = 0; c < grid.num_cells(); ++c) {
+  const uint32_t num_cells = grid.num_cells();
+  std::vector<CellVisibility> cells(num_cells);
+
+  telemetry::Telemetry* tel = options.telemetry;
+  const bool tel_on = tel != nullptr && tel->enabled();
+  telemetry::Counter* ctr_cells = nullptr;
+  telemetry::Counter* ctr_samples = nullptr;
+  telemetry::Counter* ctr_nudged = nullptr;
+  telemetry::Histogram* visible_hist = nullptr;
+  const bool tracing = tel_on && tel->tracer().enabled();
+  if (tel_on) {
+    telemetry::MetricsRegistry& m = tel->metrics();
+    ctr_cells = m.GetCounter("precompute.cells");
+    ctr_samples = m.GetCounter("precompute.samples");
+    ctr_nudged = m.GetCounter("precompute.nudged_samples");
+    visible_hist =
+        m.GetHistogram("precompute.visible_per_cell",
+                       telemetry::ExponentialBuckets(1.0, 2.0, 16));
+  }
+  // One private recorder per cell so the merge below is in cell order no
+  // matter which worker finished first.
+  std::vector<telemetry::TraceRecorder> cell_traces(tracing ? num_cells : 0);
+
+  ThreadPool pool(ThreadPool::ResolveThreads(options.threads));
+  if (tel_on) {
+    tel->metrics().GetGauge("precompute.threads")
+        ->Set(static_cast<double>(pool.num_threads() + 1));
+  }
+
+  // Each slot lazily builds its own DovComputer: the cube-map buffer and
+  // scratch vectors inside are the only mutable state a cell evaluation
+  // touches besides its private cells[c] slot.
+  std::vector<std::unique_ptr<DovComputer>> computers(pool.num_slots());
+  std::atomic<uint32_t> cells_done{0};
+  std::mutex progress_mu;
+
+  pool.ParallelFor(num_cells, [&](size_t slot, size_t index) {
+    const CellId c = static_cast<CellId>(index);
+    if (computers[slot] == nullptr) {
+      computers[slot] = std::make_unique<DovComputer>(&scene, options.dov);
+    }
+    telemetry::TraceRecorder* trace = tracing ? &cell_traces[c] : nullptr;
+
     std::vector<Vec3> samples =
         CellSamples(grid, c, options.samples_per_cell);
+    uint64_t nudged = 0;
     if (options.avoid_object_interiors) {
       for (Vec3& p : samples) {
-        p = PushOutOfObjects(scene, p);
+        const Vec3 moved = PushOutOfObjects(scene, p);
+        if (!(moved == p)) {
+          ++nudged;
+        }
+        p = moved;
       }
     }
-    std::vector<float> region = computer.ComputeRegionDov(samples);
+    std::vector<float> region = computers[slot]->ComputeRegionDov(samples);
     CellVisibility& cell = cells[c];
     for (ObjectId id = 0; id < region.size(); ++id) {
       if (region[id] > 0.0f) {
@@ -127,9 +175,34 @@ Result<VisibilityTable> PrecomputeVisibility(
         cell.dov.push_back(region[id]);
       }
     }
-    if (progress) {
-      progress(c + 1, grid.num_cells());
+    if (tel_on) {
+      ctr_cells->Increment();
+      ctr_samples->Add(samples.size());
+      ctr_nudged->Add(nudged);
+      visible_hist->Observe(static_cast<double>(cell.num_visible()));
     }
+    if (trace != nullptr) {
+      telemetry::ScopedSpan span(trace, "cell");
+      span.Attr("cell", static_cast<double>(c));
+      span.Attr("samples", static_cast<double>(samples.size()));
+      span.Attr("visible", static_cast<double>(cell.num_visible()));
+    }
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(cells_done.fetch_add(1) + 1, num_cells);
+    }
+  });
+
+  if (tracing) {
+    telemetry::TraceRecorder& tracer = tel->tracer();
+    const int32_t root = tracer.BeginSpan("precompute");
+    tracer.AddAttr(root, "cells", static_cast<double>(num_cells));
+    tracer.AddAttr(root, "threads",
+                   static_cast<double>(pool.num_threads() + 1));
+    for (const telemetry::TraceRecorder& cell_trace : cell_traces) {
+      tracer.Merge(cell_trace);
+    }
+    tracer.EndSpan(root);
   }
   return VisibilityTable(std::move(cells));
 }

@@ -3,6 +3,13 @@
 // HDoV-tree V-pages ("a conservative visibility algorithm is applied on
 // pre-determined cells ... a DoV algorithm is then applied on the visible
 // set").
+//
+// Cells are independent of each other, so the pass fans out over a worker
+// pool (PrecomputeOptions::threads). Each worker owns a private
+// DovComputer (cube-map buffer included) and writes only its own cells'
+// slots; a cell's result depends on nothing but the cell, so the output
+// is bit-identical for every thread count, including the sequential
+// threads = 1 default that reproduces the paper's numbers.
 
 #ifndef HDOV_VISIBILITY_PRECOMPUTE_H_
 #define HDOV_VISIBILITY_PRECOMPUTE_H_
@@ -14,6 +21,7 @@
 #include "common/result.h"
 #include "scene/cell_grid.h"
 #include "scene/object.h"
+#include "telemetry/telemetry.h"
 #include "visibility/dov.h"
 
 namespace hdov {
@@ -42,6 +50,18 @@ struct PrecomputeOptions {
   // occluder would see nothing but that occluder, which no real walker
   // experiences.
   bool avoid_object_interiors = true;
+
+  // Worker threads for the per-cell fan-out. 1 (default) runs entirely on
+  // the calling thread; 0 means one worker per hardware thread. Output is
+  // identical for every value (see the header comment).
+  uint32_t threads = 1;
+
+  // Optional observability: when set (and enabled), the pass bumps
+  // `precompute.*` counters/histograms and — if the tracer is enabled —
+  // merges one "cell" span per cell, in cell order, under a "precompute"
+  // root span. Workers record into private buffers; the shared registry
+  // handles are atomic, so no thread ever touches another's state.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class VisibilityTable {
@@ -60,10 +80,20 @@ class VisibilityTable {
 };
 
 // Runs the DoV precomputation for every cell of `grid`. The optional
-// `progress` callback receives (cells_done, cells_total).
+// `progress` callback receives (cells_done, cells_total); with threads >
+// 1 it is invoked from worker threads, serialized under a mutex, with
+// cells_done strictly increasing (completion order, not cell order).
 Result<VisibilityTable> PrecomputeVisibility(
     const Scene& scene, const CellGrid& grid, const PrecomputeOptions& options,
     const std::function<void(uint32_t, uint32_t)>& progress = nullptr);
+
+// Moves `p` out of any object MBR it lies inside, along the cheapest xy
+// axis (smallest penetration — stepping over a building is not an option
+// for an eye-height viewpoint). A few rounds handle points inside
+// overlapping boxes; pathological cases give up after four rounds and
+// return the last position. Exposed for testing; PrecomputeVisibility
+// applies it to every viewpoint sample when avoid_object_interiors is on.
+Vec3 PushOutOfObjects(const Scene& scene, Vec3 p);
 
 }  // namespace hdov
 

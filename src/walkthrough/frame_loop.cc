@@ -34,6 +34,7 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
   double sum_query = 0.0;
   double sum_io = 0.0;
   double sum_light_io = 0.0;
+  double sum_cache_hit_rate = 0.0;
 
   for (const Viewpoint& vp : session.frames) {
     FrameResult frame;
@@ -49,6 +50,7 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
     sum_query += frame.query_time_ms;
     sum_io += static_cast<double>(frame.io_pages);
     sum_light_io += static_cast<double>(frame.light_io_pages);
+    sum_cache_hit_rate += frame.cache_hit_rate;
     summary.max_resident_bytes =
         std::max(summary.max_resident_bytes, frame.resident_bytes);
     if (options.keep_frames) {
@@ -64,6 +66,7 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
   summary.avg_query_time_ms = sum_query / n;
   summary.avg_io_pages = sum_io / n;
   summary.avg_light_io_pages = sum_light_io / n;
+  summary.avg_cache_hit_rate = sum_cache_hit_rate / n;
 
   if (telemetry != nullptr) {
     telemetry->set_context(saved_context);
@@ -76,6 +79,7 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
           ->Set(summary.avg_frame_time_ms);
       m.GetGauge(base + ".var_frame_time")->Set(summary.var_frame_time);
       m.GetGauge(base + ".avg_io_pages")->Set(summary.avg_io_pages);
+      m.GetGauge(base + ".cache_hit_rate")->Set(summary.avg_cache_hit_rate);
       m.GetGauge(base + ".max_resident_bytes")
           ->Set(static_cast<double>(summary.max_resident_bytes));
     }

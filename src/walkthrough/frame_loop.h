@@ -24,6 +24,11 @@ struct SessionSummary {
   double avg_query_time_ms = 0.0;
   double avg_io_pages = 0.0;
   double avg_light_io_pages = 0.0;
+  // Mean per-frame buffer-pool hit rate. Sessions start with a cleared
+  // pool (BufferPool::Clear resets entries AND counters), so this — like
+  // the pool's telemetry views while the session runs — covers only this
+  // session's frames. 0 when the system runs uncached.
+  double avg_cache_hit_rate = 0.0;
   uint64_t max_resident_bytes = 0;
 
   // Per-frame detail (kept when PlaySession is asked to).

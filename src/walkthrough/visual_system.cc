@@ -29,7 +29,7 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
   HDOV_ASSIGN_OR_RETURN(
       system->store_,
       BuildStore(options.scheme, system->tree_, *table,
-                 &system->store_device_));
+                 &system->store_device_, options.build_threads));
   system->searcher_ = std::make_unique<HdovSearcher>(
       &system->tree_, scene, &system->models_, &system->tree_device_);
   if (options.tree_cache_pages > 0) {

@@ -36,6 +36,11 @@ struct VisualOptions {
   // cost no simulated I/O. 0 (default) keeps the paper's uncached billing,
   // so the Fig. 7-9 numbers are unchanged unless a caller opts in.
   size_t tree_cache_pages = 0;
+
+  // Worker threads for the offline per-cell V-page derivation inside
+  // Create (0 = one per hardware thread). Affects build wall-clock only;
+  // the built store is identical for every value.
+  uint32_t build_threads = 1;
 };
 
 class VisualSystem : public WalkthroughSystem {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/coding.h"
@@ -8,6 +11,7 @@
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace hdov {
 namespace {
@@ -226,6 +230,84 @@ TEST(SimClockTest, Advances) {
   EXPECT_DOUBLE_EQ(clock.NowMillis(), 4.0);
   clock.Reset();
   EXPECT_EQ(clock.NowMicros(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossPhases) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(ran.load(), (phase + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, InlineModeSpawnsNoThreads) {
+  for (size_t n : {size_t{0}, size_t{1}}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), 0u);
+    EXPECT_EQ(pool.num_slots(), 1u);
+    // Submit must run the task before returning (same thread).
+    const std::thread::id caller = std::this_thread::get_id();
+    bool ran = false;
+    pool.Submit([&] {
+      ran = true;
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+    EXPECT_TRUE(ran);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](size_t /*slot*/, size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsAreExclusiveAndInRange) {
+  ThreadPool pool(3);
+  const size_t slots = pool.num_slots();
+  ASSERT_EQ(slots, 4u);
+  // One non-atomic counter per slot: exclusive slot ownership means no
+  // data race here (TSan would flag a violation).
+  std::vector<uint64_t> per_slot(slots, 0);
+  pool.ParallelFor(5000, [&](size_t slot, size_t /*i*/) {
+    ASSERT_LT(slot, slots);
+    ++per_slot[slot];
+  });
+  EXPECT_EQ(std::accumulate(per_slot.begin(), per_slot.end(), uint64_t{0}),
+            5000u);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(3, [&ran](size_t, size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+  pool.ParallelFor(0, [](size_t, size_t) { FAIL() << "n = 0 must not run"; });
+}
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(3), 3u);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1u);
 }
 
 }  // namespace

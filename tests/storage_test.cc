@@ -3,6 +3,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/rng.h"
 #include "storage/buffer_pool.h"
 #include "storage/model_store.h"
 #include "storage/page_device.h"
@@ -261,9 +262,98 @@ TEST(BufferPoolTest, ContentMatchesDevice) {
   PageId p = device.Allocate();
   ASSERT_TRUE(device.Write(p, "payload!").ok());
   BufferPool pool(&device, 2);
-  Result<const std::string*> data = pool.Get(p);
-  ASSERT_TRUE(data.ok());
-  EXPECT_EQ((*data)->substr(0, 8), "payload!");
+  Result<BufferPool::PageRef> ref = pool.Get(p);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(ref->valid());
+  EXPECT_EQ(ref->data().substr(0, 8), "payload!");
+  EXPECT_EQ((*ref)->substr(0, 8), "payload!");  // operator-> passthrough.
+}
+
+// Regression for the dangling-pointer bug the old API invited: the old
+// Get returned a `const std::string*` that a later Get could evict and
+// free. A live PageRef pins its page, so eviction pressure must not
+// touch it (under ASan this test dies if the payload is freed).
+TEST(BufferPoolTest, PinnedRefSurvivesEvictionPressure) {
+  PageDevice device;
+  PageId pinned = device.Allocate();
+  ASSERT_TRUE(device.Write(pinned, "pinned page").ok());
+  PageId others[3] = {device.Allocate(), device.Allocate(),
+                      device.Allocate()};
+  BufferPool pool(&device, 1);
+  Result<BufferPool::PageRef> ref = pool.Get(pinned);
+  ASSERT_TRUE(ref.ok());
+  const std::string& bytes = ref->data();
+  // Each of these would evict `pinned` under plain LRU at capacity 1.
+  for (PageId p : others) {
+    ASSERT_TRUE(pool.Get(p).ok());
+  }
+  EXPECT_EQ(bytes.substr(0, 11), "pinned page");
+  // The pinned page rode above capacity (pin-through); the transient refs
+  // released immediately, so only it and the newest unpinned page remain
+  // at most: pinned + <=1 unpinned.
+  EXPECT_LE(pool.size(), 2u);
+  ref->Release();
+  EXPECT_FALSE(ref->valid());
+  // Releasing the pin while over capacity trims back down.
+  EXPECT_LE(pool.size(), 1u);
+}
+
+TEST(BufferPoolTest, CapacityZeroIsPinThrough) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "transient").ok());
+  BufferPool pool(&device, 0);
+  {
+    Result<BufferPool::PageRef> ref = pool.Get(p);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(ref->data().substr(0, 9), "transient");
+    EXPECT_EQ(pool.size(), 1u);  // Alive only because of the pin.
+  }
+  EXPECT_EQ(pool.size(), 0u);  // Dropped at unpin: nothing is cached.
+  ASSERT_TRUE(pool.Get(p).ok());
+  EXPECT_EQ(pool.stats().hits, 0u);  // Every Get is a miss at capacity 0.
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPoolTest, GetNeverLeavesUnpinnedOverCapacity) {
+  PageDevice device;
+  PageId pages[8];
+  for (PageId& p : pages) {
+    p = device.Allocate();
+  }
+  BufferPool pool(&device, 3);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Get(pages[rng.NextUint64(8)]).ok());
+    ASSERT_LE(pool.size(), pool.capacity());  // No refs held => hard cap.
+  }
+}
+
+TEST(BufferPoolTest, ClearResetsStatsAndDropsUnpinned) {
+  PageDevice device;
+  PageId a = device.Allocate();
+  PageId b = device.Allocate();
+  ASSERT_TRUE(device.Write(a, "kept alive").ok());
+  BufferPool pool(&device, 4);
+  Result<BufferPool::PageRef> held = pool.Get(a);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(pool.Get(b).ok());
+  ASSERT_TRUE(pool.Get(b).ok());  // One hit on b.
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 2u);
+
+  pool.Clear();
+  // Counters restart so post-Clear readers see per-session numbers...
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+  EXPECT_EQ(pool.stats().evictions, 0u);
+  // ...unpinned entries are gone, but the live ref kept its page intact.
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(held->data().substr(0, 10), "kept alive");
+  device.ResetStats();
+  ASSERT_TRUE(pool.Get(b).ok());
+  EXPECT_EQ(device.stats().page_reads, 1u);  // b was really dropped.
+  EXPECT_EQ(pool.stats().misses, 1u);
 }
 
 TEST(ModelStoreTest, RegisterAndFetchBilling) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -15,6 +16,7 @@ namespace {
 
 using telemetry::Counter;
 using telemetry::ExponentialBuckets;
+using telemetry::Gauge;
 using telemetry::Histogram;
 using telemetry::JsonValue;
 using telemetry::LinearBuckets;
@@ -226,6 +228,97 @@ TEST(TraceRecorderTest, ScopedSpanToleratesNullRecorder) {
   EXPECT_TRUE(rec.span(0).closed);
   ASSERT_NE(rec.span(0).StrAttr("s"), nullptr);
   EXPECT_EQ(*rec.span(0).StrAttr("s"), "text");
+}
+
+TEST(TraceRecorderTest, MergeReRootsUnderOpenSpan) {
+  // Two per-worker recorders fold into a phase recorder in caller-chosen
+  // order: roots re-root under the open span, internal parent links shift
+  // by the destination's size, attributes survive.
+  TraceRecorder worker_a;
+  int32_t a_root = worker_a.BeginSpan("cell");
+  worker_a.AddAttr(a_root, "cell", 0.0);
+  int32_t a_child = worker_a.BeginSpan("sample");
+  worker_a.EndSpan(a_child);
+  worker_a.EndSpan(a_root);
+
+  TraceRecorder worker_b;
+  int32_t b_root = worker_b.BeginSpan("cell");
+  worker_b.AddAttr(b_root, "cell", 1.0);
+  worker_b.EndSpan(b_root);
+
+  TraceRecorder phase;
+  int32_t root = phase.BeginSpan("precompute");
+  phase.Merge(worker_a);
+  phase.Merge(worker_b);
+  phase.EndSpan(root);
+
+  ASSERT_EQ(phase.num_spans(), 4u);  // precompute + (cell, sample) + cell.
+  EXPECT_EQ(phase.span(1).parent, root);              // a's cell.
+  EXPECT_EQ(phase.span(2).parent, 1);                 // a's sample, shifted.
+  EXPECT_EQ(phase.span(3).parent, root);              // b's cell.
+  EXPECT_DOUBLE_EQ(phase.span(1).NumAttrOr("cell", -1), 0.0);
+  EXPECT_DOUBLE_EQ(phase.span(3).NumAttrOr("cell", -1), 1.0);
+  EXPECT_EQ(phase.CountNamed("cell"), 2u);
+  EXPECT_EQ(phase.open_depth(), 0u);
+}
+
+TEST(TraceRecorderTest, MergeWithNoOpenSpanAddsRoots) {
+  TraceRecorder src;
+  int32_t s = src.BeginSpan("solo");
+  src.EndSpan(s);
+  TraceRecorder dst;
+  dst.Merge(src);
+  ASSERT_EQ(dst.num_spans(), 1u);
+  EXPECT_EQ(dst.span(0).parent, TraceRecorder::kNoSpan);
+}
+
+TEST(TraceRecorderTest, MergeIntoDisabledRecorderDrops) {
+  TraceRecorder src;
+  src.EndSpan(src.BeginSpan("x"));
+  TraceRecorder dst;
+  dst.set_enabled(false);
+  dst.Merge(src);
+  EXPECT_EQ(dst.num_spans(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsLoseNothing) {
+  Counter counter;
+  Gauge gauge;
+  const int kThreads = 8;
+  const int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        gauge.Set(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesLoseNothing) {
+  Histogram hist(LinearBuckets(0.0, 10.0, 4));
+  const int kThreads = 4;
+  const int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Observe(static_cast<double>(t * 10));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 TEST(TraceRecorderTest, JsonTreeShape) {

@@ -351,6 +351,124 @@ TEST(PrecomputeTest, ProgressCallbackRuns) {
   EXPECT_EQ(calls, 4u);
 }
 
+Object ProxyBox(const Aabb& mbr) {
+  Object obj;
+  obj.mbr = mbr;
+  obj.lods = LodChain::Proxy(100, LodChainOptions());
+  return obj;
+}
+
+TEST(PushOutOfObjectsTest, OutsidePointIsUntouched) {
+  Scene scene;
+  scene.AddObject(ProxyBox(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10))));
+  const Vec3 p(20, 5, 5);
+  EXPECT_TRUE(PushOutOfObjects(scene, p) == p);
+}
+
+TEST(PushOutOfObjectsTest, InsideSingleBoxExitsNearestFace) {
+  Scene scene;
+  scene.AddObject(ProxyBox(Aabb(Vec3(0, 0, 0), Vec3(10, 10, 10))));
+  // (1, 5, 5): min-x is the shallowest face (depth 1), so the point exits
+  // through it with the 0.05 clearance. z never changes (an eye-height
+  // viewpoint cannot step over a building).
+  const Vec3 out = PushOutOfObjects(scene, Vec3(1, 5, 5));
+  EXPECT_NEAR(out.x, -0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(out.y, 5);
+  EXPECT_DOUBLE_EQ(out.z, 5);
+  EXPECT_FALSE(scene.objects()[0].mbr.Contains(out));
+}
+
+TEST(PushOutOfObjectsTest, OverlappingBoxesEscapeBoth) {
+  // Exiting A through min-x lands inside B; the second round must then
+  // escape B too (here through min-y).
+  Scene scene;
+  scene.AddObject(ProxyBox(Aabb(Vec3(0, 0, 0), Vec3(10, 2, 10))));   // A
+  scene.AddObject(ProxyBox(Aabb(Vec3(-5, 0, 0), Vec3(1, 2, 10))));   // B
+  const Vec3 out = PushOutOfObjects(scene, Vec3(0.5, 0.5, 1));
+  for (const Object& obj : scene.objects()) {
+    EXPECT_FALSE(obj.mbr.Contains(out));
+  }
+}
+
+TEST(PushOutOfObjectsTest, PathologicalOverlapTerminates) {
+  // A and B overlap on a thin x sliver and both span a huge y range, so
+  // the min-penetration exit of each box lands inside the other: A pushes
+  // the point to x = -0.05 (inside B), B pushes it to x = 0.09 (inside A),
+  // forever. The 4-round cap must give up and return a point rather than
+  // loop; the result is still inside one of the boxes.
+  Scene scene;
+  scene.AddObject(ProxyBox(Aabb(Vec3(0, -100, 0), Vec3(1, 100, 10))));
+  scene.AddObject(ProxyBox(Aabb(Vec3(-10, -100, 0), Vec3(0.04, 100, 10))));
+  const Vec3 out = PushOutOfObjects(scene, Vec3(0.5, 0, 5));
+  bool inside_any = false;
+  for (const Object& obj : scene.objects()) {
+    inside_any = inside_any || obj.mbr.Contains(out);
+  }
+  EXPECT_TRUE(inside_any);  // Gave up, by design, instead of iterating on.
+}
+
+TEST(PrecomputeTest, ParallelMatchesSequentialBitExact) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 4;
+  copt.blocks_y = 4;
+  Result<Scene> city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+  CellGridOptions gopt;
+  gopt.cells_x = 5;  // 25 cells over (up to) 5 slots: uneven distribution.
+  gopt.cells_y = 5;
+  Result<CellGrid> grid = CellGrid::Build(city->bounds(), gopt);
+  ASSERT_TRUE(grid.ok());
+
+  PrecomputeOptions seq;
+  seq.dov.cubemap.face_resolution = 24;
+  seq.samples_per_cell = 2;
+  seq.threads = 1;
+  PrecomputeOptions par = seq;
+  par.threads = 4;
+
+  Result<VisibilityTable> t_seq = PrecomputeVisibility(*city, *grid, seq);
+  Result<VisibilityTable> t_par = PrecomputeVisibility(*city, *grid, par);
+  ASSERT_TRUE(t_seq.ok());
+  ASSERT_TRUE(t_par.ok());
+  ASSERT_EQ(t_seq->num_cells(), t_par->num_cells());
+  for (CellId c = 0; c < t_seq->num_cells(); ++c) {
+    // Bit-identical, not approximately equal: each cell's DoV depends only
+    // on that cell, so the parallel schedule must not change a single ulp.
+    EXPECT_EQ(t_seq->cell(c).ids, t_par->cell(c).ids) << "cell " << c;
+    EXPECT_EQ(t_seq->cell(c).dov, t_par->cell(c).dov) << "cell " << c;
+  }
+}
+
+TEST(PrecomputeTest, ThreadedProgressIsSerializedAndMonotonic) {
+  CityOptions copt;
+  copt.mode = GeometryMode::kProxy;
+  copt.blocks_x = 2;
+  copt.blocks_y = 2;
+  Result<Scene> city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+  CellGridOptions gopt;
+  gopt.cells_x = 4;
+  gopt.cells_y = 4;
+  Result<CellGrid> grid = CellGrid::Build(city->bounds(), gopt);
+  ASSERT_TRUE(grid.ok());
+  PrecomputeOptions popt;
+  popt.dov.cubemap.face_resolution = 16;
+  popt.samples_per_cell = 1;
+  popt.threads = 4;
+  // The callback contract holds under threading: calls are serialized and
+  // `done` counts up 1..total with no duplicates or gaps.
+  uint32_t last = 0;
+  ASSERT_TRUE(PrecomputeVisibility(*city, *grid, popt,
+                                   [&](uint32_t done, uint32_t total) {
+                                     EXPECT_EQ(done, last + 1);
+                                     EXPECT_EQ(total, 16u);
+                                     last = done;
+                                   })
+                  .ok());
+  EXPECT_EQ(last, 16u);
+}
+
 TEST(CellVisibilityTest, DovOfLookup) {
   CellVisibility cell;
   cell.ids = {3, 7, 9};
