@@ -9,7 +9,6 @@
 //     both off, delta only, and delta + prefetch.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -22,10 +21,13 @@
 namespace hdov::bench {
 namespace {
 
-void AblationSplitStrategies(const Testbed& bed) {
+void AblationSplitStrategies(const Testbed& bed, TelemetryScope* telemetry) {
   std::printf("--- A. R-tree construction strategies ---\n");
-  std::printf("%-22s %8s %12s %16s\n", "strategy", "nodes", "build (ms)",
-              "query I/O pages");
+  SeriesTable table(telemetry->report(), "ablation.rtree_construction",
+                    "strategy", 22,
+                    {SeriesTable::Col{"nodes", 8, 0},
+                     SeriesTable::Col{"build (ms)", 12, 2, /*wall=*/true},
+                     SeriesTable::Col{"query I/O pages", 16, 2}});
 
   std::vector<std::pair<Aabb, uint64_t>> entries;
   for (const Object& obj : bed.scene.objects()) {
@@ -34,6 +36,7 @@ void AblationSplitStrategies(const Testbed& bed) {
   std::vector<Vec3> probes = RandomViewpoints(bed.scene.bounds(), 200, 5);
 
   auto evaluate = [&](const char* name, RTree tree, double build_ms) {
+    telemetry->report()->RecordTiming("rtree.build", build_ms);
     PageDevice device;
     Result<PackedRTree> packed = PackedRTree::Pack(tree, &device);
     if (!packed.ok()) {
@@ -46,48 +49,32 @@ void AblationSplitStrategies(const Testbed& bed) {
                   Vec3(p.x + 200, p.y + 200, bed.scene.bounds().max.z));
       (void)packed->WindowQuery(window, &ids);
     }
-    std::printf("%-22s %8zu %12.2f %16.2f\n", name, tree.num_nodes(),
-                build_ms,
-                static_cast<double>(device.stats().page_reads) /
-                    probes.size());
+    table.Row(name, {static_cast<double>(tree.num_nodes()), build_ms,
+                     static_cast<double>(device.stats().page_reads) /
+                         probes.size()});
   };
 
-  using Clock = std::chrono::steady_clock;
-  {
+  auto insert_build = [&](const char* name, SplitAlgorithm split) {
     RTreeOptions opt;
     opt.max_entries = 16;
     opt.min_entries = 6;
+    opt.split = split;
     RTree tree(opt);
-    auto t0 = Clock::now();
+    WallTimer timer;
     for (const auto& [mbr, id] : entries) {
       (void)tree.Insert(mbr, id);
     }
-    double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                    .count();
-    evaluate("insert + Ang-Tan", std::move(tree), ms);
-  }
+    evaluate(name, std::move(tree), timer.ElapsedMs());
+  };
+  insert_build("insert + Ang-Tan", SplitAlgorithm::kAngTanLinear);
+  insert_build("insert + quadratic", SplitAlgorithm::kQuadratic);
   {
     RTreeOptions opt;
     opt.max_entries = 16;
     opt.min_entries = 6;
-    opt.split = SplitAlgorithm::kQuadratic;
-    RTree tree(opt);
-    auto t0 = Clock::now();
-    for (const auto& [mbr, id] : entries) {
-      (void)tree.Insert(mbr, id);
-    }
-    double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                    .count();
-    evaluate("insert + quadratic", std::move(tree), ms);
-  }
-  {
-    RTreeOptions opt;
-    opt.max_entries = 16;
-    opt.min_entries = 6;
-    auto t0 = Clock::now();
+    WallTimer timer;
     Result<RTree> tree = RTree::BulkLoad(entries, opt);
-    double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
-                    .count();
+    const double ms = timer.ElapsedMs();
     if (tree.ok()) {
       evaluate("STR bulk load", std::move(*tree), ms);
     }
@@ -98,8 +85,13 @@ void AblationSplitStrategies(const Testbed& bed) {
 void AblationTerminationHeuristics(const Testbed& bed,
                                    TelemetryScope* telemetry) {
   std::printf("--- B. termination heuristics (per query, eta sweep) ---\n");
-  std::printf("%8s | %22s | %22s | %22s\n", "eta", "Eq.4 tris / IO",
-              "eta-only tris / IO", "cost-model tris / IO");
+  SeriesTable table(telemetry->report(), "ablation.termination", "eta", 8,
+                    {SeriesTable::Col{"Eq.4 tris", 12, 0},
+                     SeriesTable::Col{"Eq.4 IO", 9, 2},
+                     SeriesTable::Col{"eta-only tris", 13, 0},
+                     SeriesTable::Col{"eta-only IO", 11, 2},
+                     SeriesTable::Col{"cost tris", 12, 0},
+                     SeriesTable::Col{"cost IO", 9, 2}});
 
   std::vector<Vec3> probes = RandomViewpoints(bed.scene.bounds(), 500, 11);
   VisualOptions vopt = DefaultVisualOptions();
@@ -111,7 +103,7 @@ void AblationTerminationHeuristics(const Testbed& bed,
   }
   telemetry->Attach(visual->get(), "ablation.termination");
   for (double eta : {0.001, 0.004, 0.016}) {
-    std::printf("%8.4f |", eta);
+    std::vector<double> values;
     for (TerminationHeuristic heuristic :
          {TerminationHeuristic::kEq4, TerminationHeuristic::kNone,
           TerminationHeuristic::kCostModel}) {
@@ -125,13 +117,15 @@ void AblationTerminationHeuristics(const Testbed& bed,
           triangles += lod.triangle_count;
         }
       }
-      std::printf(" %10.0f / %7.2f |",
-                  static_cast<double>(triangles) / probes.size(),
-                  static_cast<double>(
-                      (*visual)->TotalIoStats().page_reads) /
-                      probes.size());
+      values.push_back(static_cast<double>(triangles) / probes.size());
+      values.push_back(
+          static_cast<double>((*visual)->TotalIoStats().page_reads) /
+          probes.size());
     }
-    std::printf("\n");
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.4f", eta);
+    table.Row(label, {values[0], values[1], values[2], values[3], values[4],
+                      values[5]});
   }
   std::printf("\n");
 }
@@ -139,8 +133,11 @@ void AblationTerminationHeuristics(const Testbed& bed,
 void AblationDeltaAndPrefetch(const Testbed& bed,
                               TelemetryScope* telemetry) {
   std::printf("--- C. delta search and prefetching ---\n");
-  std::printf("%-24s %12s %12s %12s\n", "configuration", "avg (ms)",
-              "variance", "worst (ms)");
+  SeriesTable table(telemetry->report(), "ablation.delta_prefetch",
+                    "configuration", 24,
+                    {SeriesTable::Col{"avg (ms)", 12, 2},
+                     SeriesTable::Col{"variance", 12, 2},
+                     SeriesTable::Col{"worst (ms)", 12, 2}});
   Session session = RecordSession(MotionPattern::kNormalWalk,
                                   bed.scene.bounds(), SessionOptions{
                                       .num_frames = 400,
@@ -170,18 +167,21 @@ void AblationDeltaAndPrefetch(const Testbed& bed,
     (*visual)->set_delta_enabled(config.delta);
     PlayOptions popt;
     popt.keep_frames = true;
+    WallTimer playback;
     Result<SessionSummary> summary =
         PlaySession(visual->get(), session, popt);
     if (!summary.ok()) {
       return;
     }
+    telemetry->report()->RecordTiming("session.play", playback.ElapsedMs());
     double worst = 0.0;
     for (size_t i = 1; i < summary->frames.size(); ++i) {
       worst = std::max(worst, summary->frames[i].frame_time_ms);
     }
-    std::printf("%-24s %12.2f %12.2f %12.2f\n", config.name,
-                summary->avg_frame_time_ms, summary->var_frame_time, worst);
+    table.Row(config.name,
+              {summary->avg_frame_time_ms, summary->var_frame_time, worst});
   }
+  std::printf("\n");
 }
 
 void AblationBaselinePanel(const Testbed& bed, TelemetryScope* telemetry) {
@@ -189,8 +189,10 @@ void AblationBaselinePanel(const Testbed& bed, TelemetryScope* telemetry) {
   std::printf("LoD-R-tree is the related-work baseline the paper critiques"
               " in section 2:\nfast while the view holds steady, degrading"
               " on view changes.\n\n");
-  std::printf("%-18s | %10s %10s %12s\n", "session", "system", "avg ms",
-              "avg I/O");
+  SeriesTable table(telemetry->report(), "ablation.panel",
+                    "session/system", 30,
+                    {SeriesTable::Col{"avg ms", 10, 2},
+                     SeriesTable::Col{"avg I/O", 12, 2}});
 
   VisualOptions vopt = DefaultVisualOptions();
   vopt.eta = 0.001;
@@ -227,20 +229,19 @@ void AblationBaselinePanel(const Testbed& bed, TelemetryScope* telemetry) {
       if (!summary.ok()) {
         return;
       }
-      std::printf("%-18s | %10s %10.2f %12.2f\n", session.name.c_str(),
-                  system->name().c_str(), summary->avg_frame_time_ms,
-                  summary->avg_io_pages);
+      table.Row(session.name + "/" + system->name(),
+                {summary->avg_frame_time_ms, summary->avg_io_pages});
     }
   }
 }
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Ablations: construction, termination, delta/prefetch",
-              "design-choice ablations (beyond the paper's figures)");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_ablations");
+  telemetry.Header("Ablations: construction, termination, delta/prefetch",
+                   "design-choice ablations (beyond the paper's figures)");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
-  AblationSplitStrategies(bed);
+  AblationSplitStrategies(bed, &telemetry);
   AblationTerminationHeuristics(bed, &telemetry);
   AblationDeltaAndPrefetch(bed, &telemetry);
   AblationBaselinePanel(bed, &telemetry);

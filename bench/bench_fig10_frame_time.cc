@@ -24,16 +24,15 @@ Result<SessionSummary> Play(WalkthroughSystem* system,
   return PlaySession(system, session, popt);
 }
 
-void PrintSeries(const char* label, const SessionSummary& summary,
-                 size_t stride) {
-  std::printf("%s: avg %.2f ms, variance %.2f, spikes(>2x avg) %zu\n",
-              label, summary.avg_frame_time_ms, summary.var_frame_time,
-              static_cast<size_t>(std::count_if(
-                  summary.frames.begin(), summary.frames.end(),
-                  [&](const FrameResult& f) {
-                    return f.frame_time_ms >
-                           2.0 * summary.avg_frame_time_ms;
-                  })));
+void PrintSeries(SeriesTable* table, const char* label,
+                 const SessionSummary& summary, size_t stride) {
+  const auto spikes = static_cast<size_t>(std::count_if(
+      summary.frames.begin(), summary.frames.end(),
+      [&](const FrameResult& f) {
+        return f.frame_time_ms > 2.0 * summary.avg_frame_time_ms;
+      }));
+  table->Row(label, {summary.avg_frame_time_ms, summary.var_frame_time,
+                     static_cast<double>(spikes)});
   std::printf("  frame series (every %zuth frame, ms):", stride);
   for (size_t i = 0; i < summary.frames.size(); i += stride) {
     std::printf(" %.1f", summary.frames[i].frame_time_ms);
@@ -42,10 +41,10 @@ void PrintSeries(const char* label, const SessionSummary& summary,
 }
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Figure 10: frame time during an interactive walkthrough",
-              "Figures 10(a,b)");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_fig10_frame_time");
+  telemetry.Header("Figure 10: frame time during an interactive walkthrough",
+                   "Figures 10(a,b)");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
 
   SessionOptions sopt;
@@ -74,22 +73,31 @@ int Run(const BenchArgs& args) {
   telemetry.Attach(visual_2->get(), "visual.eta_0.0003");
   telemetry.Attach(review->get(), "review");
 
+  WallTimer playback;
   Result<SessionSummary> s_visual_1 = Play(visual_1->get(), session);
+  telemetry.report()->RecordTiming("session.play", playback.ElapsedMs());
+  playback.Restart();
   Result<SessionSummary> s_visual_2 = Play(visual_2->get(), session);
+  telemetry.report()->RecordTiming("session.play", playback.ElapsedMs());
+  playback.Restart();
   Result<SessionSummary> s_review = Play(review->get(), session);
+  telemetry.report()->RecordTiming("session.play", playback.ElapsedMs());
   if (!s_visual_1.ok() || !s_visual_2.ok() || !s_review.ok()) {
     std::fprintf(stderr, "playback failed\n");
     return 1;
   }
 
   const size_t stride = std::max<size_t>(1, session.frames.size() / 40);
+  SeriesTable table(telemetry.report(), "fig10.frame_stats", "config", 18,
+                    {SeriesTable::Col{"avg(ms)", 10, 2},
+                     SeriesTable::Col{"variance", 10, 2},
+                     SeriesTable::Col{"spikes>2x", 10, 0}});
   std::printf("--- Figure 10(a): VISUAL(eta=0.001) vs REVIEW(400m) ---\n");
-  PrintSeries("VISUAL eta=0.001", *s_visual_1, stride);
-  PrintSeries("REVIEW box=400m ", *s_review, stride);
+  PrintSeries(&table, "VISUAL eta=0.001", *s_visual_1, stride);
+  PrintSeries(&table, "REVIEW box=400m", *s_review, stride);
 
   std::printf("--- Figure 10(b): VISUAL eta=0.001 vs eta=0.0003 ---\n");
-  PrintSeries("VISUAL eta=0.001 ", *s_visual_1, stride);
-  PrintSeries("VISUAL eta=0.0003", *s_visual_2, stride);
+  PrintSeries(&table, "VISUAL eta=0.0003", *s_visual_2, stride);
 
   std::printf("shape checks: VISUAL avg < REVIEW avg (%s); VISUAL variance"
               " < REVIEW variance (%s);\n"

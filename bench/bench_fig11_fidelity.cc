@@ -18,9 +18,9 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Figure 11: visual fidelity comparison", "Figure 11");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_fig11_fidelity");
+  telemetry.Header("Figure 11: visual fidelity comparison", "Figure 11");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
 
   VisualOptions vopt = DefaultVisualOptions();
@@ -92,17 +92,20 @@ int Run(const BenchArgs& args) {
     visual_tris += frame.rendered_triangles;
   }
 
-  auto print_row = [&](const char* label, const FidelityScore& s,
-                       uint64_t tris) {
-    std::printf("%-28s %9.3f %8.3f %9.3f %14.0f\n", label, s.coverage / n,
-                s.detail / n, s.combined / n,
-                static_cast<double>(tris) / n);
+  SeriesTable table(telemetry.report(), "fig11.fidelity", "configuration",
+                    28,
+                    {SeriesTable::Col{"coverage", 9, 3},
+                     SeriesTable::Col{"detail", 8, 3},
+                     SeriesTable::Col{"combined", 9, 3},
+                     SeriesTable::Col{"tris/frame", 14, 0}});
+  auto add_row = [&](const char* label, const FidelityScore& s,
+                     uint64_t tris) {
+    table.Row(label, {s.coverage / n, s.detail / n, s.combined / n,
+                      static_cast<double>(tris) / n});
   };
-  std::printf("%-28s %9s %8s %9s %14s\n", "configuration", "coverage",
-              "detail", "combined", "tris/frame");
-  print_row("(a) original models", original, original_tris);
-  print_row("(b) REVIEW, 200m boxes", review_score, review_tris);
-  print_row("(c) VISUAL, eta=0.001", visual_score, visual_tris);
+  add_row("(a) original models", original, original_tris);
+  add_row("(b) REVIEW, 200m boxes", review_score, review_tris);
+  add_row("(c) VISUAL, eta=0.001", visual_score, visual_tris);
 
   std::printf("\nshape checks: REVIEW coverage < 1 (far objects lost to the"
               " spatial query box);\nVISUAL coverage = 1 with combined"
@@ -178,13 +181,17 @@ int Run(const BenchArgs& args) {
   }
   const double fn = fgrid->num_cells();
   std::printf("%s\n", full_city->Summary().c_str());
-  std::printf("VISUAL eta=0.002 on real meshes: coverage %.3f, detail %.3f,"
-              " combined %.3f,\n%.0f of %.0f tris/frame (%.0f%%)\n",
-              fsum.coverage / fn, fsum.detail / fn, fsum.combined / fn,
-              static_cast<double>(ftris) / fn,
-              static_cast<double>(forig) / fn,
-              100.0 * static_cast<double>(ftris) /
-                  static_cast<double>(forig));
+  SeriesTable ftableout(telemetry.report(), "fig11.full_geometry",
+                       "configuration", 28,
+                       {SeriesTable::Col{"coverage", 9, 3},
+                        SeriesTable::Col{"detail", 8, 3},
+                        SeriesTable::Col{"combined", 9, 3},
+                        SeriesTable::Col{"tris/frame", 14, 0},
+                        SeriesTable::Col{"orig tris/frame", 16, 0}});
+  ftableout.Row("VISUAL eta=0.002 (meshes)",
+                {fsum.coverage / fn, fsum.detail / fn, fsum.combined / fn,
+                 static_cast<double>(ftris) / fn,
+                 static_cast<double>(forig) / fn});
   return telemetry.Write() ? 0 : 1;
 }
 

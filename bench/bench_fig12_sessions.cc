@@ -16,10 +16,11 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Figure 12: search performance across walkthrough sessions",
-              "Figures 12(a,b)");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_fig12_sessions");
+  telemetry.Header("Figure 12: search performance across walkthrough"
+                   " sessions",
+                   "Figures 12(a,b)");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
 
   VisualOptions vopt = DefaultVisualOptions();
@@ -47,20 +48,24 @@ int Run(const BenchArgs& args) {
                                     MotionPattern::kTurnLeftRight,
                                     MotionPattern::kBackForward};
 
-  std::printf("%-18s | %14s %14s | %12s %12s\n", "session",
-              "VISUAL ms/q", "REVIEW ms/q", "VISUAL I/Os", "REVIEW I/Os");
+  SeriesTable table(telemetry.report(), "fig12.sessions", "session", 18,
+                    {SeriesTable::Col{"VISUAL ms/q", 14, 3},
+                     SeriesTable::Col{"REVIEW ms/q", 14, 3},
+                     SeriesTable::Col{"VISUAL I/Os", 12, 2},
+                     SeriesTable::Col{"REVIEW I/Os", 12, 2}});
   for (int i = 0; i < 3; ++i) {
     Session session = RecordSession(patterns[i], bed.scene.bounds(), sopt);
+    WallTimer playback;
     Result<SessionSummary> vis = PlaySession(visual->get(), session);
     Result<SessionSummary> rev = PlaySession(review->get(), session);
     if (!vis.ok() || !rev.ok()) {
       std::fprintf(stderr, "playback failed\n");
       return 1;
     }
-    std::printf("%-18s | %14.3f %14.3f | %12.2f %12.2f\n",
-                session.name.c_str(), vis->avg_query_time_ms,
-                rev->avg_query_time_ms, vis->avg_io_pages,
-                rev->avg_io_pages);
+    telemetry.report()->RecordTiming("session.play", playback.ElapsedMs());
+    table.Row(session.name,
+              {vis->avg_query_time_ms, rev->avg_query_time_ms,
+               vis->avg_io_pages, rev->avg_io_pages});
   }
   std::printf("\nshape check: VISUAL's visibility queries beat REVIEW's\n"
               "spatial queries on both time and I/O in all three motion\n"

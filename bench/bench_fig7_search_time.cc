@@ -17,9 +17,10 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Figure 7: search time vs DoV threshold (eta)", "Figure 7");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_fig7_search_time");
+  telemetry.Header("Figure 7: search time vs DoV threshold (eta)",
+                   "Figure 7");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
 
   const size_t kQueries = LargeScale() ? 10000 : 2000;
@@ -71,10 +72,15 @@ int Run(const BenchArgs& args) {
                          0.003, 0.004,  0.006, 0.008};
   std::printf("avg search time per query (simulated ms), %zu queries\n\n",
               viewpoints.size());
-  std::printf("%8s %12s %12s %16s %12s\n", "eta", "horizontal", "vertical",
-              "indexed-vertical", "naive");
+  SeriesTable table(telemetry.report(), "fig7.search_time", "eta", 8,
+                    {SeriesTable::Col{"horizontal", 12, 3},
+                     SeriesTable::Col{"vertical", 12, 3},
+                     SeriesTable::Col{"indexed-vertical", 16, 3},
+                     SeriesTable::Col{"naive", 12, 3}});
+  char label[32];
   for (double eta : etas) {
     double ms[3] = {0, 0, 0};
+    WallTimer sweep;
     for (int s = 0; s < 3; ++s) {
       systems[s]->set_eta(eta);
       systems[s]->ResetIoStats();
@@ -89,8 +95,9 @@ int Run(const BenchArgs& args) {
       }
       ms[s] = systems[s]->clock().NowMillis() / viewpoints.size();
     }
-    std::printf("%8.4f %12.3f %12.3f %16.3f %12.3f\n", eta, ms[0], ms[1],
-                ms[2], naive_ms);
+    telemetry.report()->RecordTiming("sweep.eta", sweep.ElapsedMs());
+    std::snprintf(label, sizeof(label), "%.4f", eta);
+    table.Row(label, {ms[0], ms[1], ms[2], naive_ms});
   }
   std::printf("\nshape checks: curves fall with eta; horizontal slowest;\n"
               "indexed-vertical <= vertical; eta=0 ~ naive.\n");

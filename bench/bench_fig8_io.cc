@@ -15,9 +15,10 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Figure 8: disk I/O vs DoV threshold (eta)", "Figures 8(a,b)");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_fig8_io");
+  telemetry.Header("Figure 8: disk I/O vs DoV threshold (eta)",
+                   "Figures 8(a,b)");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
 
   const size_t kQueries = LargeScale() ? 10000 : 2000;
@@ -58,9 +59,14 @@ int Run(const BenchArgs& args) {
                          0.003, 0.004,  0.006, 0.008};
   std::printf("page I/Os per query, %zu queries (indexed-vertical scheme)\n\n",
               viewpoints.size());
-  std::printf("%8s | %12s %12s | %12s %12s\n", "eta", "total(hdov)",
-              "total(naive)", "light(hdov)", "light(naive)");
+  SeriesTable table(telemetry.report(), "fig8.io", "eta", 8,
+                    {SeriesTable::Col{"total(hdov)", 12, 2},
+                     SeriesTable::Col{"total(naive)", 12, 2},
+                     SeriesTable::Col{"light(hdov)", 12, 2},
+                     SeriesTable::Col{"light(naive)", 12, 2}});
+  char label[32];
   for (double eta : etas) {
+    WallTimer sweep;
     (*visual)->set_eta(eta);
     (*visual)->ResetIoStats();
     std::vector<RetrievedLod> result;
@@ -79,8 +85,9 @@ int Run(const BenchArgs& args) {
     const double total =
         static_cast<double>((*visual)->TotalIoStats().page_reads) /
         viewpoints.size();
-    std::printf("%8.4f | %12.2f %12.2f | %12.2f %12.2f\n", eta, total,
-                naive_total, light, naive_light);
+    telemetry.report()->RecordTiming("sweep.eta", sweep.ElapsedMs());
+    std::snprintf(label, sizeof(label), "%.4f", eta);
+    table.Row(label, {total, naive_total, light, naive_light});
   }
   std::printf("\nshape checks: (a) hdov total falls with eta, <= naive for\n"
               "large eta; (b) hdov light I/O starts above naive (internal\n"

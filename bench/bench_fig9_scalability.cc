@@ -14,17 +14,21 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Figure 9: visibility-query scalability with dataset size",
-              "Figures 9(a,b)");
-  TelemetryScope telemetry(args);
+  TelemetryScope telemetry(args, "bench_fig9_scalability");
+  telemetry.Header("Figure 9: visibility-query scalability with dataset size",
+                   "Figures 9(a,b)");
 
   const uint64_t kMB = 1ull << 20;
   const uint64_t targets[] = {400 * kMB, 800 * kMB, 1200 * kMB, 1600 * kMB};
   const size_t kQueries = 1000;  // The paper uses 1000 queries.
 
-  std::printf("%12s %10s %10s %14s %12s\n", "dataset(MB)", "objects",
-              "nodes", "search(ms)", "I/Os");
+  SeriesTable out(telemetry.report(), "fig9.scalability", "dataset(MB)", 12,
+                  {SeriesTable::Col{"objects", 10, 0},
+                   SeriesTable::Col{"nodes", 10, 0},
+                   SeriesTable::Col{"search(ms)", 14, 3},
+                   SeriesTable::Col{"I/Os", 12, 2}});
   for (uint64_t target : targets) {
+    WallTimer step;
     CityOptions copt = CityOptionsForTargetBytes(target);
     Result<Scene> scene = GenerateCity(copt);
     if (!scene.ok()) {
@@ -75,9 +79,13 @@ int Run(const BenchArgs& args) {
     const double ms = (*visual)->clock().NowMillis() / kQueries;
     const double ios =
         static_cast<double>((*visual)->TotalIoStats().page_reads) / kQueries;
-    std::printf("%12.0f %10zu %10zu %14.3f %12.2f\n",
-                MB(scene->TotalModelBytes()), scene->size(),
-                (*visual)->tree().num_nodes(), ms, ios);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f",
+                  MB(scene->TotalModelBytes()));
+    out.Row(label, {static_cast<double>(scene->size()),
+                    static_cast<double>((*visual)->tree().num_nodes()), ms,
+                    ios});
+    telemetry.report()->RecordTiming("dataset.step", step.ElapsedMs());
   }
   std::printf("\nshape check: search time and I/Os grow only marginally\n"
               "while the dataset quadruples (the traversal touches visible\n"

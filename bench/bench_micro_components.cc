@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "hdov/builder.h"
@@ -272,4 +275,35 @@ BENCHMARK(BM_HdovSearch)
 }  // namespace
 }  // namespace hdov
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-standard
+// --json-out=<path> flag into google-benchmark's own JSON reporter flags
+// so every bench binary shares one machine-readable output convention.
+// Micro timings are wall-clock only, so this file is not part of the CI
+// drift gate (see EXPERIMENTS.md).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag;
+  constexpr const char kJsonOut[] = "--json-out=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (std::strncmp(*it, kJsonOut, sizeof(kJsonOut) - 1) == 0) {
+      out_flag = std::string("--benchmark_out=") +
+                 (*it + sizeof(kJsonOut) - 1);
+      format_flag = "--benchmark_out_format=json";
+      args.erase(it);
+      break;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,9 +13,9 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Table 2: storage space of the V-page storage schemes",
-              "Table 2");
-  TelemetryScope telemetry(args);
+  TelemetryScope telemetry(args, "bench_table2_storage");
+  telemetry.Header("Table 2: storage space of the V-page storage schemes",
+                   "Table 2");
   TestbedOptions opt = DefaultTestbedOptions();
   // Storage ratios are driven by the fraction of nodes hidden per cell
   // (N_vnode / N_node), which shrinks as the city and the viewing grid
@@ -24,7 +24,7 @@ int Run(const BenchArgs& args) {
   // with 4000+ cells.
   opt.blocks = LargeScale() ? 28 : 20;
   opt.cells = LargeScale() ? 48 : 32;
-  Testbed bed = BuildTestbed(opt);
+  Testbed bed = BuildTestbed(opt, telemetry.report());
   PrintTestbedSummary(bed);
 
   PageDevice model_device;
@@ -39,8 +39,10 @@ int Run(const BenchArgs& args) {
               tree->num_nodes(), tree->fanout(), tree->height(),
               tree->s_ratio());
 
-  std::printf("%-18s %14s %10s\n", "Storage Scheme", "Size (MB)",
-              "vs indexed");
+  SeriesTable table(telemetry.report(), "table2.storage", "Storage Scheme",
+                    18,
+                    {SeriesTable::Col{"Size (MB)", 14, 2},
+                     SeriesTable::Col{"vs indexed", 10, 1}});
   double sizes[4] = {0, 0, 0, 0};
   const StorageScheme schemes[4] = {StorageScheme::kHorizontal,
                                     StorageScheme::kVertical,
@@ -64,9 +66,8 @@ int Run(const BenchArgs& args) {
     }
   }
   for (int i = 0; i < 4; ++i) {
-    std::printf("%-18s %14.2f %9.1fx\n",
-                StorageSchemeName(schemes[i]).c_str(), sizes[i],
-                sizes[i] / sizes[2]);
+    table.Row(StorageSchemeName(schemes[i]),
+              {sizes[i], sizes[i] / sizes[2]});
   }
   std::printf("\nraw model data (all object + internal LoDs): %.1f MB\n",
               MB(models.total_bytes()));

@@ -16,9 +16,9 @@ namespace hdov::bench {
 namespace {
 
 int Run(const BenchArgs& args) {
-  PrintHeader("Table 3: frame time statistics vs eta", "Table 3");
-  TelemetryScope telemetry(args);
-  Testbed bed = BuildTestbed(DefaultTestbedOptions());
+  TelemetryScope telemetry(args, "bench_table3_frame_stats");
+  telemetry.Header("Table 3: frame time statistics vs eta", "Table 3");
+  Testbed bed = BuildTestbed(DefaultTestbedOptions(), telemetry.report());
   PrintTestbedSummary(bed);
 
   SessionOptions sopt;
@@ -37,19 +37,24 @@ int Run(const BenchArgs& args) {
 
   const double etas[] = {0.0,    0.00005, 0.0001, 0.0002, 0.0003,
                          0.0005, 0.001,   0.002,  0.004};
-  std::printf("%10s %20s %24s %14s\n", "eta", "Avg Frame Time(ms)",
-              "Variance of Frame Time", "peak mem(MB)");
+  SeriesTable table(telemetry.report(), "table3.frame_stats", "eta", 10,
+                    {SeriesTable::Col{"Avg Frame Time(ms)", 20, 2},
+                     SeriesTable::Col{"Variance of Frame Time", 24, 2},
+                     SeriesTable::Col{"peak mem(MB)", 14, 2}});
   double last_avg = 0.0;
   for (double eta : etas) {
     (*visual)->set_eta(eta);
+    WallTimer playback;
     Result<SessionSummary> summary = PlaySession(visual->get(), session);
     if (!summary.ok()) {
       std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
       return 1;
     }
-    std::printf("%10.5f %20.2f %24.2f %14.2f\n", eta,
-                summary->avg_frame_time_ms, summary->var_frame_time,
-                MB(summary->max_resident_bytes));
+    telemetry.report()->RecordTiming("session.play", playback.ElapsedMs());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.5f", eta);
+    table.Row(label, {summary->avg_frame_time_ms, summary->var_frame_time,
+                      MB(summary->max_resident_bytes)});
     last_avg = summary->avg_frame_time_ms;
   }
 
@@ -67,8 +72,8 @@ int Run(const BenchArgs& args) {
   if (!rev.ok()) {
     return 1;
   }
-  std::printf("%10s %20.2f %24.2f %14.2f\n", "REVIEW", rev->avg_frame_time_ms,
-              rev->var_frame_time, MB(rev->max_resident_bytes));
+  table.Row("REVIEW", {rev->avg_frame_time_ms, rev->var_frame_time,
+                       MB(rev->max_resident_bytes)});
 
   std::printf("\nshape checks: frame time and variance decrease with eta;\n"
               "REVIEW is slower than every VISUAL row (%.1fx vs eta=0.004)\n"

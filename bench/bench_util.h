@@ -1,7 +1,17 @@
 // Shared experiment testbed for the paper-reproduction benchmarks. Builds
 // the synthetic city, viewing-cell grid and precomputed visibility table
-// that all experiment binaries run against, and provides small printing
-// helpers so each bench emits the rows/series of its paper counterpart.
+// that all experiment binaries run against, and provides the shared
+// emit helpers (SeriesTable) through which each bench prints the
+// rows/series of its paper counterpart AND records them into the
+// machine-readable bench report — one call, one source of truth.
+//
+// Flags every bench accepts (see ParseBenchArgs):
+//   --json-out=<path>       write a telemetry::BenchReport document
+//                           (figure rows, counters, env fingerprint);
+//   --telemetry-out=<path>  write the full telemetry snapshot;
+//   --trace-out=<path>      enable span recording and write a Chrome
+//                           trace-event file (chrome://tracing);
+//   --threads=N             precompute/build workers (0 = hardware).
 //
 // Scale knob: set HDOV_BENCH_SCALE=large in the environment to run closer
 // to the paper's dataset sizes (slower); the default is sized to finish
@@ -13,19 +23,29 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "scene/cell_grid.h"
 #include "scene/city_generator.h"
 #include "scene/session.h"
+#include "telemetry/bench_report.h"
 #include "telemetry/telemetry.h"
 #include "visibility/precompute.h"
 #include "walkthrough/visual_system.h"
 
+// Stamped by bench/CMakeLists.txt at configure time; informational only.
+#ifndef HDOV_GIT_REVISION
+#define HDOV_GIT_REVISION "unknown"
+#endif
+
 namespace hdov::bench {
+
+using telemetry::WallTimer;
 
 inline bool LargeScale() {
   const char* scale = std::getenv("HDOV_BENCH_SCALE");
@@ -33,7 +53,9 @@ inline bool LargeScale() {
 }
 
 struct BenchArgs {
-  std::string telemetry_out;  // Empty = telemetry stays off.
+  std::string telemetry_out;  // Empty = full snapshot not written.
+  std::string json_out;       // Empty = bench report not written.
+  std::string trace_out;      // Empty = span recording stays off.
   uint32_t threads = 1;       // Precompute/build workers (0 = hardware).
 };
 
@@ -50,16 +72,31 @@ inline uint32_t& BenchThreads() {
 // so a typo does not silently run without its effect.
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
-  constexpr const char kOut[] = "--telemetry-out=";
+  constexpr const char kTelemetryOut[] = "--telemetry-out=";
+  constexpr const char kJsonOut[] = "--json-out=";
+  constexpr const char kTraceOut[] = "--trace-out=";
   constexpr const char kThreads[] = "--threads=";
+  const auto path_flag = [](const char* arg, const char* flag, size_t len,
+                            std::string* out) {
+    if (std::strncmp(arg, flag, len) != 0) {
+      return false;
+    }
+    *out = arg + len;
+    if (out->empty()) {
+      std::fprintf(stderr, "%s needs a path\n", flag);
+      std::exit(2);
+    }
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0) {
-      args.telemetry_out = argv[i] + sizeof(kOut) - 1;
-      if (args.telemetry_out.empty()) {
-        std::fprintf(stderr, "--telemetry-out needs a path\n");
-        std::exit(2);
-      }
-    } else if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
+    if (path_flag(argv[i], kTelemetryOut, sizeof(kTelemetryOut) - 1,
+                  &args.telemetry_out) ||
+        path_flag(argv[i], kJsonOut, sizeof(kJsonOut) - 1, &args.json_out) ||
+        path_flag(argv[i], kTraceOut, sizeof(kTraceOut) - 1,
+                  &args.trace_out)) {
+      continue;
+    }
+    if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
       char* end = nullptr;
       const char* value = argv[i] + sizeof(kThreads) - 1;
       const unsigned long parsed = std::strtoul(value, &end, 10);
@@ -70,28 +107,64 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.threads = static_cast<uint32_t>(parsed);
       BenchThreads() = args.threads;
     } else {
-      std::fprintf(stderr, "unknown flag %s (supported: %s<path>, %sN)\n",
-                   argv[i], kOut, kThreads);
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: %s<path>, %s<path>,"
+                   " %s<path>, %sN)\n",
+                   argv[i], kTelemetryOut, kJsonOut, kTraceOut, kThreads);
       std::exit(2);
     }
   }
   return args;
 }
 
-// Owns the bench's Telemetry context (when --telemetry-out was given) and
-// writes the JSON snapshot at the end of the run. Declare the scope
-// BEFORE the systems it attaches: systems unregister themselves from the
-// context on destruction, so the context must be destroyed last.
+// Owns the bench's Telemetry context and BenchReport, and writes the
+// requested output files at the end of the run. Telemetry is attached
+// when any of --telemetry-out / --json-out / --trace-out was given (the
+// report's counter digest and the trace come from it); with no flags the
+// instrumentation stays detached and the report is print-only.
+//
+// Declare the scope BEFORE the systems it attaches: systems unregister
+// themselves from the context on destruction, so the context must be
+// destroyed last — and Write() must run while they still live, or the
+// captured metric snapshot loses their registered views.
 class TelemetryScope {
  public:
-  explicit TelemetryScope(const BenchArgs& args) : path_(args.telemetry_out) {
-    if (!path_.empty()) {
+  TelemetryScope(const BenchArgs& args, const char* binary)
+      : telemetry_out_(args.telemetry_out),
+        json_out_(args.json_out),
+        trace_out_(args.trace_out) {
+    if (!telemetry_out_.empty() || !json_out_.empty() ||
+        !trace_out_.empty()) {
       telemetry_ = std::make_unique<telemetry::Telemetry>();
+      if (!trace_out_.empty()) {
+        telemetry_->tracer().set_enabled(true);
+      }
     }
+    report_.set_binary(binary);
+    report_.set_scale(LargeScale() ? "large" : "default");
+    telemetry::BenchEnvironment env;
+    env.git_revision = HDOV_GIT_REVISION;
+    env.cpu_count = std::thread::hardware_concurrency();
+    env.threads = args.threads;
+    report_.set_environment(std::move(env));
   }
 
   bool on() const { return telemetry_ != nullptr; }
   telemetry::Telemetry* get() { return telemetry_.get(); }
+  telemetry::BenchReport* report() { return &report_; }
+
+  // Prints the standard bench banner and stamps the title into the
+  // report, so the two cannot disagree.
+  void Header(const char* title, const char* paper_ref) {
+    report_.set_title(title);
+    std::printf(
+        "==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("(reproduces %s of 'HDoV-tree: The Structure, The Storage,"
+                " The Speed', ICDE 2003)\n", paper_ref);
+    std::printf(
+        "==============================================================\n");
+  }
 
   void Attach(WalkthroughSystem* system, const std::string& prefix) {
     if (telemetry_ != nullptr) {
@@ -99,25 +172,114 @@ class TelemetryScope {
     }
   }
 
-  // Writes the snapshot (idempotent). Returns false on I/O failure.
+  // Writes every requested output (idempotent). Returns false on I/O
+  // failure. Call while attached systems are still alive.
   bool Write() {
-    if (telemetry_ == nullptr || written_) {
+    if (written_) {
       return true;
     }
     written_ = true;
-    if (Status s = telemetry_->WriteJsonFile(path_); !s.ok()) {
-      std::fprintf(stderr, "telemetry: %s\n", s.ToString().c_str());
-      return false;
+    bool ok = true;
+    if (!json_out_.empty()) {
+      if (telemetry_ != nullptr) {
+        report_.CaptureFrom(*telemetry_);
+      }
+      if (Status s = report_.WriteFile(json_out_); !s.ok()) {
+        std::fprintf(stderr, "bench report: %s\n", s.ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("\nbench report: wrote %s\n", json_out_.c_str());
+      }
     }
-    std::printf("\ntelemetry: wrote %s (%llu frame records)\n", path_.c_str(),
-                static_cast<unsigned long long>(telemetry_->frames_recorded()));
-    return true;
+    if (!telemetry_out_.empty() && telemetry_ != nullptr) {
+      if (Status s = telemetry_->WriteJsonFile(telemetry_out_); !s.ok()) {
+        std::fprintf(stderr, "telemetry: %s\n", s.ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("\ntelemetry: wrote %s (%llu frame records)\n",
+                    telemetry_out_.c_str(),
+                    static_cast<unsigned long long>(
+                        telemetry_->frames_recorded()));
+      }
+    }
+    if (!trace_out_.empty() && telemetry_ != nullptr) {
+      if (Status s = telemetry_->WriteChromeTrace(trace_out_); !s.ok()) {
+        std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("\ntrace: wrote %s (%zu spans; open in"
+                    " chrome://tracing)\n",
+                    trace_out_.c_str(), telemetry_->tracer().num_spans());
+      }
+    }
+    return ok;
   }
 
  private:
-  std::string path_;
+  std::string telemetry_out_;
+  std::string json_out_;
+  std::string trace_out_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  telemetry::BenchReport report_;
   bool written_ = false;
+};
+
+// The shared figure/table emitter: prints an aligned stdout table AND
+// appends each row to the named report series, so the human-readable and
+// machine-readable outputs cannot drift apart. Columns default to
+// simulated (deterministic, compared at zero tolerance by
+// bench_compare); mark wall-clock columns `wall` so the comparison
+// applies a noise tolerance instead.
+class SeriesTable {
+ public:
+  struct Col {
+    std::string header;
+    int width = 12;
+    int precision = 2;
+    bool wall = false;
+  };
+
+  SeriesTable(telemetry::BenchReport* report, const std::string& name,
+              const std::string& label_header, int label_width,
+              std::vector<Col> cols)
+      : label_width_(label_width), cols_(std::move(cols)) {
+    if (report != nullptr) {
+      std::vector<telemetry::SeriesColumn> columns;
+      columns.reserve(cols_.size());
+      for (const Col& c : cols_) {
+        columns.push_back(telemetry::SeriesColumn{c.header, c.wall});
+      }
+      series_ = report->AddSeries(name, std::move(columns));
+    }
+    std::printf("%-*s", label_width_, label_header.c_str());
+    for (const Col& c : cols_) {
+      std::printf(" %*s", c.width, c.header.c_str());
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::string& label, std::initializer_list<double> values) {
+    if (values.size() != cols_.size()) {
+      std::fprintf(stderr, "SeriesTable: %zu values for %zu columns\n",
+                   values.size(), cols_.size());
+      std::abort();
+    }
+    std::printf("%-*s", label_width_, label.c_str());
+    size_t i = 0;
+    for (double v : values) {
+      std::printf(" %*.*f", cols_[i].width, cols_[i].precision, v);
+      ++i;
+    }
+    std::printf("\n");
+    if (series_ != nullptr) {
+      series_->rows.push_back(telemetry::SeriesRow{label, values});
+    }
+  }
+
+ private:
+  telemetry::ReportSeries* series_ = nullptr;
+  int label_width_;
+  std::vector<Col> cols_;
 };
 
 struct TestbedOptions {
@@ -147,8 +309,11 @@ inline TestbedOptions DefaultTestbedOptions() {
 }
 
 // Builds the default experiment environment; aborts on error (benchmarks
-// have no meaningful recovery path).
-inline Testbed BuildTestbed(const TestbedOptions& opt) {
+// have no meaningful recovery path). When `report` is given, the build
+// wall-clock is recorded under the "testbed.build" timing.
+inline Testbed BuildTestbed(const TestbedOptions& opt,
+                            telemetry::BenchReport* report = nullptr) {
+  WallTimer timer;
   CityOptions copt;
   copt.mode = GeometryMode::kProxy;
   copt.blocks_x = opt.blocks;
@@ -178,6 +343,9 @@ inline Testbed BuildTestbed(const TestbedOptions& opt) {
     std::fprintf(stderr, "testbed: %s\n", table.status().ToString().c_str());
     std::abort();
   }
+  if (report != nullptr) {
+    report->RecordTiming("testbed.build", timer.ElapsedMs());
+  }
   return Testbed{std::move(*scene), std::move(*grid), std::move(*table)};
 }
 
@@ -204,14 +372,6 @@ inline std::vector<Vec3> RandomViewpoints(const Aabb& bounds, size_t count,
                         rng.Uniform(bounds.min.y, bounds.max.y), 1.7);
   }
   return points;
-}
-
-inline void PrintHeader(const char* title, const char* paper_ref) {
-  std::printf("==============================================================\n");
-  std::printf("%s\n", title);
-  std::printf("(reproduces %s of 'HDoV-tree: The Structure, The Storage, The"
-              " Speed', ICDE 2003)\n", paper_ref);
-  std::printf("==============================================================\n");
 }
 
 inline void PrintTestbedSummary(const Testbed& bed) {

@@ -1,0 +1,210 @@
+// BenchReport: the machine-readable record of one benchmark run. Every
+// bench binary accepts `--json-out=<path>` and writes one standardized
+// JSON document carrying
+//
+//   - provenance: binary name, scale, git revision, an environment
+//     fingerprint (CPU count, HDOV_BENCH_SCALE, --threads);
+//   - every figure/table row the binary printed, as structured *series*
+//     (the stdout tables and the JSON rows come from the same emit call,
+//     so they cannot drift apart);
+//   - repeated wall-clock timings summarized as min/mean/median/p95;
+//   - the full metric snapshot and per-system frame-record totals —
+//     simulated counters (page reads, seeks, V-page fetches, cache hits)
+//     that are deterministic and therefore diffable at zero tolerance.
+//
+// CompareReports() is the other half: it diffs two parsed report
+// documents, hard-failing on any simulated-counter drift and flagging
+// wall-clock regressions beyond a noise threshold. `tools/bench_compare`
+// is a thin CLI over it; CI runs it against the checked-in
+// `bench/baselines/BENCH_*.json` files (see EXPERIMENTS.md).
+
+#ifndef HDOV_TELEMETRY_BENCH_REPORT_H_
+#define HDOV_TELEMETRY_BENCH_REPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace hdov::telemetry {
+
+class Telemetry;
+
+// Wall-clock stopwatch — the shared replacement for the copy-pasted
+// steady_clock blocks the benches used to carry.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Summary of repeated wall-clock samples. Median/p95 interpolate between
+// order statistics (linear, as numpy's default percentile does).
+struct TimingStats {
+  size_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+
+  static TimingStats From(std::vector<double> samples);
+};
+
+struct SeriesColumn {
+  std::string name;
+  // Wall-clock columns are noisy: CompareReports checks them against a
+  // relative tolerance instead of the exact match simulated columns get.
+  bool wall = false;
+};
+
+struct SeriesRow {
+  std::string label;
+  std::vector<double> values;  // One per column.
+};
+
+// One figure/table of the bench: a label column plus numeric columns.
+struct ReportSeries {
+  std::string name;
+  std::vector<SeriesColumn> columns;
+  std::vector<SeriesRow> rows;
+};
+
+// Sums of the FrameRecords one system emitted during the run — a compact
+// deterministic digest that survives the system's destruction (registry
+// views vanish with their system; frame records do not).
+struct FrameTotals {
+  std::string system;
+  std::string kind;  // "frame" or "query".
+  uint64_t frames = 0;
+  double frame_time_ms = 0.0;
+  double query_time_ms = 0.0;
+  uint64_t io_pages = 0;
+  uint64_t light_io_pages = 0;
+  uint64_t index_bytes_read = 0;
+  uint64_t store_bytes_read = 0;
+  uint64_t model_bytes_read = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t vpages_fetched = 0;
+  uint64_t hidden_pruned = 0;
+  uint64_t internal_terminations = 0;
+  uint64_t rendered_triangles = 0;
+  uint64_t models_fetched = 0;
+};
+
+struct BenchEnvironment {
+  std::string git_revision;  // Informational; never compared.
+  uint32_t cpu_count = 0;
+  uint32_t threads = 0;  // The bench's --threads value.
+};
+
+class BenchReport {
+ public:
+  void set_binary(std::string name) { binary_ = std::move(name); }
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_scale(std::string scale) { scale_ = std::move(scale); }
+  void set_environment(BenchEnvironment env) { env_ = std::move(env); }
+
+  const std::string& binary() const { return binary_; }
+  const std::string& scale() const { return scale_; }
+
+  // Creates (or returns) the series `name`. Columns are fixed on the
+  // first call; the pointer stays valid for the report's lifetime.
+  ReportSeries* AddSeries(const std::string& name,
+                          std::vector<SeriesColumn> columns);
+
+  size_t num_series() const { return series_.size(); }
+  const ReportSeries& series(size_t i) const { return *series_[i]; }
+
+  // Appends one wall-clock sample to the named timing; stats are computed
+  // at serialization time from all samples recorded under that name.
+  void RecordTiming(const std::string& name, double ms);
+
+  // Captures the metric snapshot and the frame-record totals of `t`.
+  // Call once, after the run, while attached systems still live.
+  void CaptureFrom(const Telemetry& t);
+
+  const std::vector<FrameTotals>& frame_totals() const {
+    return frame_totals_;
+  }
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Timing {
+    std::string name;
+    std::vector<double> samples;
+  };
+
+  std::string binary_;
+  std::string title_;
+  std::string scale_ = "default";
+  BenchEnvironment env_;
+  // unique_ptr for pointer stability: benches hold AddSeries' result
+  // across further AddSeries calls.
+  std::vector<std::unique_ptr<ReportSeries>> series_;
+  std::vector<Timing> timings_;
+  MetricsSnapshot metrics_;
+  std::vector<FrameTotals> frame_totals_;
+};
+
+// ---------------------------------------------------------------------
+// Report diffing (the bench_compare tool and the CI perf gate).
+
+struct CompareOptions {
+  // Relative tolerance for wall-clock values (series columns marked
+  // `wall` and the timing stats). 0.30 = a 30% slowdown fails.
+  double wall_tolerance = 0.30;
+  // Wall-clock values below this many ms are never flagged (relative
+  // noise on near-zero timings is meaningless).
+  double wall_floor_ms = 1.0;
+  // Ignore wall-clock values entirely — the CI gate runs with this on,
+  // since baseline and CI hardware differ.
+  bool ignore_wall = false;
+  // Metric names containing any of these substrings are skipped.
+  std::vector<std::string> skip_substrings;
+};
+
+struct CompareFinding {
+  enum class Severity { kInfo, kWarn, kFail };
+  Severity severity = Severity::kInfo;
+  std::string where;    // "metrics", series name, "timings", ...
+  std::string message;
+};
+
+struct CompareResult {
+  std::vector<CompareFinding> findings;
+  uint64_t values_compared = 0;
+
+  bool HasFailure() const;
+  void Add(CompareFinding::Severity severity, std::string where,
+           std::string message);
+};
+
+// Diffs two parsed BenchReport documents (`old_report` is the baseline).
+// Simulated values must match exactly; wall-clock values may regress up
+// to the tolerance. Returns a finding list; HasFailure() decides the
+// exit code. Invalid/mismatched documents report kFail findings rather
+// than erroring out.
+CompareResult CompareReports(const JsonValue& old_report,
+                             const JsonValue& new_report,
+                             const CompareOptions& options);
+
+}  // namespace hdov::telemetry
+
+#endif  // HDOV_TELEMETRY_BENCH_REPORT_H_

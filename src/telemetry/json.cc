@@ -128,6 +128,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_.append(json);
+  return *this;
+}
+
 const JsonValue* JsonValue::Find(std::string_view key) const {
   if (type != Type::kObject) {
     return nullptr;

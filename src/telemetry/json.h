@@ -37,6 +37,9 @@ class JsonWriter {
   JsonWriter& Number(uint64_t value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  // Splices pre-serialized JSON in as one value; the caller guarantees
+  // `json` is a complete well-formed document fragment.
+  JsonWriter& Raw(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string TakeString() { return std::move(out_); }

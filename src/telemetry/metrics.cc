@@ -106,6 +106,9 @@ std::string MetricsSnapshot::ToJson() const {
     if (sample.kind == MetricKind::kHistogram) {
       w.Key("count").Number(sample.count);
       w.Key("sum").Number(sample.sum);
+      w.Key("p50").Number(sample.p50);
+      w.Key("p90").Number(sample.p90);
+      w.Key("p99").Number(sample.p99);
       w.Key("bounds").BeginArray();
       for (double b : sample.bounds) {
         w.Number(b);
@@ -135,12 +138,14 @@ std::string MetricsSnapshot::ToTable() const {
   for (const MetricSample& sample : samples) {
     if (sample.kind == MetricKind::kHistogram) {
       std::snprintf(buf, sizeof(buf),
-                    "%-*s  histogram count=%llu mean=%.3f\n",
+                    "%-*s  histogram count=%llu mean=%.3f p50=%.3f"
+                    " p90=%.3f p99=%.3f\n",
                     static_cast<int>(width), sample.name.c_str(),
                     static_cast<unsigned long long>(sample.count),
                     sample.count == 0
                         ? 0.0
-                        : sample.sum / static_cast<double>(sample.count));
+                        : sample.sum / static_cast<double>(sample.count),
+                    sample.p50, sample.p90, sample.p99);
     } else {
       std::snprintf(buf, sizeof(buf), "%-*s  %.6g\n",
                     static_cast<int>(width), sample.name.c_str(),
@@ -263,6 +268,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
         }
         sample.sum = h.sum();
         sample.count = h.count();
+        sample.p50 = h.Quantile(0.50);
+        sample.p90 = h.Quantile(0.90);
+        sample.p99 = h.Quantile(0.99);
         break;
       }
     }

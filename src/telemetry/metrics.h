@@ -121,6 +121,12 @@ struct MetricSample {
   std::vector<uint64_t> buckets;
   double sum = 0.0;
   uint64_t count = 0;
+  // Interpolated percentiles (Histogram::Quantile), so reports carry
+  // frame-time p50/p90/p99 without consumers re-deriving them from raw
+  // buckets.
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
 };
 
 struct MetricsSnapshot {

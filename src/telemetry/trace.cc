@@ -27,6 +27,7 @@ const std::string* TraceSpan::StrAttr(std::string_view key) const {
 void TraceRecorder::Clear() {
   spans_.clear();
   open_.clear();
+  spans_dropped_ = 0;
 }
 
 void TraceRecorder::Merge(const TraceRecorder& other) {
@@ -35,17 +36,29 @@ void TraceRecorder::Merge(const TraceRecorder& other) {
   }
   const int32_t offset = static_cast<int32_t>(spans_.size());
   const int32_t root_parent = open_.empty() ? kNoSpan : open_.back();
-  spans_.reserve(spans_.size() + other.spans_.size());
+  spans_.reserve(std::min(spans_.size() + other.spans_.size(), max_spans_));
   for (const TraceSpan& span : other.spans_) {
+    // Source spans are in creation order (children after parents), so a
+    // mid-stream cutoff keeps every stored parent index valid.
+    if (spans_.size() >= max_spans_) {
+      spans_dropped_ +=
+          other.spans_.size() - static_cast<size_t>(&span - &other.spans_[0]);
+      return;
+    }
     TraceSpan copy = span;
     copy.parent =
         span.parent == kNoSpan ? root_parent : span.parent + offset;
     spans_.push_back(std::move(copy));
   }
+  spans_dropped_ += other.spans_dropped_;
 }
 
 int32_t TraceRecorder::BeginSpan(std::string_view name) {
   if (!enabled_) {
+    return kNoSpan;
+  }
+  if (spans_.size() >= max_spans_) {
+    ++spans_dropped_;
     return kNoSpan;
   }
   TraceSpan span;

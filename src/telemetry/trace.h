@@ -38,6 +38,15 @@ class TraceRecorder {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
+  // Span-count cap: once reached, BeginSpan returns kNoSpan (every other
+  // call treats kNoSpan as a no-op, so deep trees degrade gracefully —
+  // recorded ancestors keep their attributes, excess descendants are
+  // counted in spans_dropped). A multi-hour traced run stays at a
+  // loadable chrome://tracing file size instead of growing unbounded.
+  size_t max_spans() const { return max_spans_; }
+  void set_max_spans(size_t n) { max_spans_ = n; }
+  uint64_t spans_dropped() const { return spans_dropped_; }
+
   // Drops all recorded spans (the open-span stack included).
   void Clear();
 
@@ -76,6 +85,10 @@ class TraceRecorder {
   bool enabled_ = true;
   std::vector<TraceSpan> spans_;
   std::vector<int32_t> open_;  // Stack of open span indices.
+  // ~1M spans keeps a fully traced bench run around Chrome's trace-viewer
+  // comfort zone; raise it for short, deep traces.
+  size_t max_spans_ = 1 << 20;
+  uint64_t spans_dropped_ = 0;
 };
 
 // RAII span: opens on construction (when a recorder is given), closes on

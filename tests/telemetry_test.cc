@@ -2,6 +2,7 @@
 
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -353,6 +354,107 @@ TEST(JsonTest, RejectsTrailingGarbage) {
   EXPECT_TRUE(ParseJson("  {\"a\": [1, true, null]}  ").ok());
 }
 
+TEST(JsonTest, Utf8PassesThroughUnescaped) {
+  // Multi-byte UTF-8 is not a control character; the writer must emit it
+  // verbatim and the parser must hand it back untouched.
+  const std::string text = "caf\xc3\xa9 \xe6\xbc\xa2\xe5\xad\x97";
+  std::string out;
+  telemetry::AppendJsonString(&out, text);
+  EXPECT_EQ(out, "\"" + text + "\"");
+  Result<JsonValue> parsed = ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string, text);
+}
+
+TEST(JsonTest, ControlCharactersEscapeAsUnicode) {
+  std::string out;
+  telemetry::AppendJsonString(&out, std::string("\x00\x1f\x7f", 3));
+  // 0x00 and 0x1f are control chars -> \u00xx; 0x7f is not < 0x20.
+  EXPECT_EQ(out, "\"\\u0000\\u001f\x7f\"");
+  Result<JsonValue> parsed = ParseJson(out);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string, std::string("\x00\x1f\x7f", 3));
+}
+
+TEST(JsonTest, UnicodeEscapeRoundTrip) {
+  // \uXXXX decodes to UTF-8 across the 1-, 2- and 3-byte ranges.
+  Result<JsonValue> ascii = ParseJson("\"\\u0041\"");
+  ASSERT_TRUE(ascii.ok());
+  EXPECT_EQ(ascii->string, "A");
+  Result<JsonValue> two_byte = ParseJson("\"\\u00e9\"");
+  ASSERT_TRUE(two_byte.ok());
+  EXPECT_EQ(two_byte->string, "\xc3\xa9");
+  Result<JsonValue> three_byte = ParseJson("\"\\u6f22\"");
+  ASSERT_TRUE(three_byte.ok());
+  EXPECT_EQ(three_byte->string, "\xe6\xbc\xa2");
+  // Upper-case hex digits are accepted too.
+  Result<JsonValue> upper = ParseJson("\"\\u00E9\"");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper->string, "\xc3\xa9");
+  // Writer-escaped control characters survive a full round trip.
+  std::string written;
+  telemetry::AppendJsonString(&written, "\x02");
+  Result<JsonValue> back = ParseJson(written);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->string, "\x02");
+}
+
+TEST(JsonTest, ParseErrorPaths) {
+  Result<JsonValue> truncated = ParseJson("\"\\u00");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().ToString().find("truncated unicode escape"),
+            std::string::npos);
+  Result<JsonValue> bad_hex = ParseJson("\"\\u00zz\"");
+  ASSERT_FALSE(bad_hex.ok());
+  EXPECT_NE(bad_hex.status().ToString().find("invalid unicode escape"),
+            std::string::npos);
+  Result<JsonValue> bad_escape = ParseJson("\"\\q\"");
+  ASSERT_FALSE(bad_escape.ok());
+  EXPECT_NE(bad_escape.status().ToString().find("invalid escape"),
+            std::string::npos);
+}
+
+TEST(HistogramTest, SnapshotCarriesPercentiles) {
+  MetricsRegistry m;
+  Histogram* h = m.GetHistogram("lat", LinearBuckets(10.0, 10.0, 10));
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(static_cast<double>(i));  // Uniform 1..100.
+  }
+  const MetricSample* sample = m.Snapshot().Find("lat");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_NEAR(sample->p50, h->Quantile(0.50), 1e-9);
+  EXPECT_NEAR(sample->p90, h->Quantile(0.90), 1e-9);
+  EXPECT_NEAR(sample->p99, h->Quantile(0.99), 1e-9);
+  // Uniform data: the interpolated percentiles sit near their ranks.
+  EXPECT_NEAR(sample->p50, 50.0, 10.0);
+  EXPECT_NEAR(sample->p90, 90.0, 10.0);
+  // And they serialize.
+  Result<JsonValue> parsed = ParseJson(m.Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& hist = parsed->items[0];
+  EXPECT_DOUBLE_EQ(hist.Find("p50")->number, sample->p50);
+  EXPECT_DOUBLE_EQ(hist.Find("p90")->number, sample->p90);
+  EXPECT_DOUBLE_EQ(hist.Find("p99")->number, sample->p99);
+}
+
+TEST(TraceRecorderTest, MaxSpansDropsGracefully) {
+  TraceRecorder rec;
+  rec.set_max_spans(2);
+  int32_t root = rec.BeginSpan("root");
+  int32_t kept = rec.BeginSpan("kept");
+  int32_t dropped = rec.BeginSpan("dropped");
+  EXPECT_EQ(dropped, TraceRecorder::kNoSpan);
+  rec.AddAttr(dropped, "k", 1.0);  // No-op, must not crash.
+  rec.EndSpan(dropped);
+  rec.EndSpan(kept);
+  rec.EndSpan(root);
+  EXPECT_EQ(rec.num_spans(), 2u);
+  EXPECT_EQ(rec.spans_dropped(), 1u);
+  EXPECT_EQ(rec.open_depth(), 0u);
+  rec.Clear();
+  EXPECT_EQ(rec.spans_dropped(), 0u);
+}
+
 TEST(TelemetryTest, RecordFrameStampsIndexAndContext) {
   Telemetry t;
   EXPECT_FALSE(t.tracer().enabled());  // Opt-in by design.
@@ -434,6 +536,85 @@ TEST(TelemetryTest, SnapshotJsonRoundTrip) {
   EXPECT_EQ(t.frames_recorded(), 0u);
   EXPECT_EQ(t.metrics().GetCounter("visual.search.queries")->value(), 0u);
   EXPECT_EQ(t.tracer().num_spans(), 0u);
+}
+
+TEST(TelemetryTest, ChromeTraceSchema) {
+  // A traced search records the span shapes the searcher emits (one
+  // "search" root, "node" children, decision leaves) plus per-query frame
+  // records; the Chrome-trace export of that state must be a valid
+  // trace-event document with exactly nested span intervals.
+  Telemetry t;
+  t.tracer().set_enabled(true);
+  int32_t search = t.tracer().BeginSpan("search");
+  t.tracer().AddAttr(search, "eta", 0.001);
+  int32_t node = t.tracer().BeginSpan("node");
+  int32_t prune = t.tracer().BeginSpan("prune");
+  t.tracer().AddAttr(prune, "dov", 0.0);
+  t.tracer().EndSpan(prune);
+  t.tracer().EndSpan(node);
+  int32_t node2 = t.tracer().BeginSpan("node");
+  t.tracer().EndSpan(node2);
+  t.tracer().EndSpan(search);
+
+  telemetry::FrameRecord r;
+  r.system = "visual";
+  r.kind = "query";
+  r.query_time_ms = 2.5;
+  r.io_pages = 3;
+  t.RecordFrame(r);
+  r.io_pages = 5;
+  t.RecordFrame(r);
+
+  Result<JsonValue> parsed = ParseJson(t.ChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("displayTimeUnit")->string, "ms");
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  ASSERT_FALSE(events->items.empty());
+
+  size_t complete_events = 0;
+  std::vector<std::pair<double, double>> span_intervals;  // [ts, ts+dur)
+  for (const JsonValue& event : events->items) {
+    // Every event carries the mandatory trace-event fields.
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("ph"), nullptr);
+    ASSERT_NE(event.Find("pid"), nullptr);
+    const std::string& ph = event.Find("ph")->string;
+    EXPECT_TRUE(ph == "X" || ph == "M" || ph == "C") << ph;
+    if (ph != "M") {
+      ASSERT_NE(event.Find("ts"), nullptr);
+      ASSERT_NE(event.Find("tid"), nullptr);
+    }
+    if (ph == "X") {
+      ++complete_events;
+      ASSERT_NE(event.Find("dur"), nullptr);
+      EXPECT_GT(event.Find("dur")->number, 0.0);
+      if (event.Find("pid")->number == 2.0) {  // Span-forest process.
+        span_intervals.emplace_back(
+            event.Find("ts")->number,
+            event.Find("ts")->number + event.Find("dur")->number);
+      }
+    }
+  }
+  // 4 spans + 2 frames, all exported as complete events.
+  EXPECT_EQ(complete_events, 6u);
+
+  // Span intervals either nest or are disjoint — never partially overlap
+  // (chrome://tracing renders partial overlaps wrong).
+  ASSERT_EQ(span_intervals.size(), 4u);
+  for (size_t i = 0; i < span_intervals.size(); ++i) {
+    for (size_t j = i + 1; j < span_intervals.size(); ++j) {
+      const auto& [a0, a1] = span_intervals[i];
+      const auto& [b0, b1] = span_intervals[j];
+      const bool disjoint = a1 <= b0 || b1 <= a0;
+      const bool nested = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+      EXPECT_TRUE(disjoint || nested)
+          << "[" << a0 << "," << a1 << ") vs [" << b0 << "," << b1 << ")";
+    }
+  }
+  // The root "search" interval covers all four spans.
+  EXPECT_DOUBLE_EQ(span_intervals[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(span_intervals[0].second, 4.0);
 }
 
 }  // namespace

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the committed CI drift-gate baselines (bench/baselines/) by
+# running every report-producing bench at default scale with --json-out.
+# One command, from the repo root:
+#
+#   tools/refresh_baselines.sh [build-dir]
+#
+# Run it after any change that intentionally shifts simulated counters or
+# figure values, eyeball `git diff bench/baselines/` to confirm the shift
+# is the one you meant to make, and commit the result. Wall-clock fields
+# in the baselines are informational; CI compares with --ignore-wall.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found; build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+BENCHES=(
+  bench_table2_storage
+  bench_fig7_search_time
+  bench_fig8_io
+  bench_fig9_scalability
+  bench_fig10_frame_time
+  bench_fig11_fidelity
+  bench_fig12_sessions
+  bench_table3_frame_stats
+  bench_ablations
+)
+
+mkdir -p bench/baselines
+for bench in "${BENCHES[@]}"; do
+  out="bench/baselines/BENCH_${bench#bench_}.json"
+  echo "== ${bench} -> ${out}"
+  "${BUILD_DIR}/bench/${bench}" --json-out="${out}" >/dev/null
+done
+echo "done; review with: git diff bench/baselines/"
