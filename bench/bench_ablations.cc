@@ -97,7 +97,7 @@ void AblationTerminationHeuristics(const Testbed& bed,
   VisualOptions vopt = DefaultVisualOptions();
   vopt.prefetch_models_per_frame = 0;
   Result<std::unique_ptr<VisualSystem>> visual =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+      MakeVisualSystem(bed, vopt);
   if (!visual.ok()) {
     return;
   }
@@ -154,7 +154,7 @@ void AblationDeltaAndPrefetch(const Testbed& bed,
     VisualOptions vopt = DefaultVisualOptions();
     vopt.prefetch_models_per_frame = config.prefetch;
     Result<std::unique_ptr<VisualSystem>> visual =
-        VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+        MakeVisualSystem(bed, vopt);
     if (!visual.ok()) {
       return;
     }
@@ -197,7 +197,7 @@ void AblationBaselinePanel(const Testbed& bed, TelemetryScope* telemetry) {
   VisualOptions vopt = DefaultVisualOptions();
   vopt.eta = 0.001;
   Result<std::unique_ptr<VisualSystem>> visual =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+      MakeVisualSystem(bed, vopt);
   ReviewOptions ropt;
   ropt.query_box_size = 400.0;
   ropt.cache_distance = 600.0;

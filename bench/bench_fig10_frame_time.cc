@@ -55,11 +55,11 @@ int Run(const BenchArgs& args) {
   VisualOptions v1 = DefaultVisualOptions();
   v1.eta = 0.001;
   Result<std::unique_ptr<VisualSystem>> visual_1 =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, v1);
+      MakeVisualSystem(bed, v1);
   VisualOptions v2 = DefaultVisualOptions();
   v2.eta = 0.0003;
   Result<std::unique_ptr<VisualSystem>> visual_2 =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, v2);
+      MakeVisualSystem(bed, v2);
   ReviewOptions ropt;
   ropt.query_box_size = 400.0;
   ropt.cache_distance = 600.0;

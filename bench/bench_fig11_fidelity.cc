@@ -26,7 +26,7 @@ int Run(const BenchArgs& args) {
   VisualOptions vopt = DefaultVisualOptions();
   vopt.eta = 0.001;
   Result<std::unique_ptr<VisualSystem>> visual =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+      MakeVisualSystem(bed, vopt);
   ReviewOptions ropt;
   ropt.query_box_size = 200.0;
   ropt.cache_distance = 300.0;

@@ -29,7 +29,7 @@ int Run(const BenchArgs& args) {
   // frame-smoothing optimization that would only add speculative I/O here.
   vopt.prefetch_models_per_frame = 0;
   Result<std::unique_ptr<VisualSystem>> visual =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+      MakeVisualSystem(bed, vopt);
   ReviewOptions ropt;
   ropt.query_box_size = 400.0;
   ropt.cache_distance = 600.0;

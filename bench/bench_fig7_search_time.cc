@@ -35,7 +35,7 @@ int Run(const BenchArgs& args) {
     VisualOptions vopt = DefaultVisualOptions();
     vopt.scheme = schemes[s];
     Result<std::unique_ptr<VisualSystem>> system =
-        VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+        MakeVisualSystem(bed, vopt);
     if (!system.ok()) {
       std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
       return 1;

@@ -28,7 +28,7 @@ int Run(const BenchArgs& args) {
   VisualOptions vopt = DefaultVisualOptions();
   vopt.scheme = StorageScheme::kIndexedVertical;
   Result<std::unique_ptr<VisualSystem>> visual =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+      MakeVisualSystem(bed, vopt);
   Result<std::unique_ptr<NaiveSystem>> naive =
       NaiveSystem::Create(&bed.scene, &bed.grid, &bed.table, NaiveOptions());
   if (!visual.ok() || !naive.ok()) {

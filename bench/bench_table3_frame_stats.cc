@@ -28,7 +28,7 @@ int Run(const BenchArgs& args) {
 
   VisualOptions vopt = DefaultVisualOptions();
   Result<std::unique_ptr<VisualSystem>> visual =
-      VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, vopt);
+      MakeVisualSystem(bed, vopt);
   if (!visual.ok()) {
     std::fprintf(stderr, "%s\n", visual.status().ToString().c_str());
     return 1;

@@ -11,7 +11,10 @@
 //   --telemetry-out=<path>  write the full telemetry snapshot;
 //   --trace-out=<path>      enable span recording and write a Chrome
 //                           trace-event file (chrome://tracing);
-//   --threads=N             precompute/build workers (0 = hardware).
+//   --threads=N             precompute/build workers (0 = hardware);
+//   --db=<path>             load the testbed and every VISUAL system from
+//                           a tools/hdov_build snapshot instead of
+//                           rebuilding (see docs/storage.md).
 //
 // Scale knob: set HDOV_BENCH_SCALE=large in the environment to run closer
 // to the paper's dataset sizes (slower); the default is sized to finish
@@ -30,12 +33,14 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "persist/snapshot.h"
 #include "scene/cell_grid.h"
 #include "scene/city_generator.h"
 #include "scene/session.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/telemetry.h"
 #include "visibility/precompute.h"
+#include "walkthrough/experiment_testbed.h"
 #include "walkthrough/visual_system.h"
 
 // Stamped by bench/CMakeLists.txt at configure time; informational only.
@@ -56,6 +61,7 @@ struct BenchArgs {
   std::string telemetry_out;  // Empty = full snapshot not written.
   std::string json_out;       // Empty = bench report not written.
   std::string trace_out;      // Empty = span recording stays off.
+  std::string db_path;        // Empty = build the world from scratch.
   uint32_t threads = 1;       // Precompute/build workers (0 = hardware).
 };
 
@@ -68,6 +74,15 @@ inline uint32_t& BenchThreads() {
   return threads;
 }
 
+// The parsed --db value; when non-empty, BuildTestbed and MakeVisualSystem
+// load the world from that snapshot instead of rebuilding it. Loading
+// changes only wall-clock: the loaded world answers queries with the same
+// results and simulated counters as a fresh build.
+inline std::string& BenchDbPath() {
+  static std::string path;
+  return path;
+}
+
 // Parses the flags shared by every experiment binary. Unknown flags abort
 // so a typo does not silently run without its effect.
 inline BenchArgs ParseBenchArgs(int argc, char** argv) {
@@ -75,6 +90,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kTelemetryOut[] = "--telemetry-out=";
   constexpr const char kJsonOut[] = "--json-out=";
   constexpr const char kTraceOut[] = "--trace-out=";
+  constexpr const char kDb[] = "--db=";
   constexpr const char kThreads[] = "--threads=";
   const auto path_flag = [](const char* arg, const char* flag, size_t len,
                             std::string* out) {
@@ -93,7 +109,9 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
                   &args.telemetry_out) ||
         path_flag(argv[i], kJsonOut, sizeof(kJsonOut) - 1, &args.json_out) ||
         path_flag(argv[i], kTraceOut, sizeof(kTraceOut) - 1,
-                  &args.trace_out)) {
+                  &args.trace_out) ||
+        path_flag(argv[i], kDb, sizeof(kDb) - 1, &args.db_path)) {
+      BenchDbPath() = args.db_path;
       continue;
     }
     if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
@@ -109,8 +127,9 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: %s<path>, %s<path>,"
-                   " %s<path>, %sN)\n",
-                   argv[i], kTelemetryOut, kJsonOut, kTraceOut, kThreads);
+                   " %s<path>, %s<path>, %sN)\n",
+                   argv[i], kTelemetryOut, kJsonOut, kTraceOut, kDb,
+                   kThreads);
       std::exit(2);
     }
   }
@@ -282,20 +301,10 @@ class SeriesTable {
   std::vector<Col> cols_;
 };
 
-struct TestbedOptions {
-  int blocks = 16;        // blocks x blocks city.
-  int cells = 16;         // cells x cells viewing grid.
-  int face_resolution = 64;
-  int samples_per_cell = 1;
-  uint64_t seed = 20030101;
-  uint32_t threads = 1;   // Precompute workers (0 = hardware).
-};
-
-struct Testbed {
-  Scene scene;
-  CellGrid grid;
-  VisibilityTable table;
-};
+// TestbedOptions / Testbed / the builders live in
+// walkthrough/experiment_testbed.h so tools/hdov_build constructs the
+// identical world; these wrappers add the bench defaults (scale knob,
+// --threads, --db) and the benches' abort-on-error convention.
 
 inline TestbedOptions DefaultTestbedOptions() {
   TestbedOptions opt;
@@ -308,57 +317,50 @@ inline TestbedOptions DefaultTestbedOptions() {
   return opt;
 }
 
-// Builds the default experiment environment; aborts on error (benchmarks
-// have no meaningful recovery path). When `report` is given, the build
-// wall-clock is recorded under the "testbed.build" timing.
+// Builds the default experiment environment — or, with --db, loads it from
+// the snapshot — aborting on error (benchmarks have no meaningful recovery
+// path). When `report` is given, the wall-clock is recorded under the
+// "testbed.build" (or "testbed.load") timing.
 inline Testbed BuildTestbed(const TestbedOptions& opt,
                             telemetry::BenchReport* report = nullptr) {
   WallTimer timer;
-  CityOptions copt;
-  copt.mode = GeometryMode::kProxy;
-  copt.blocks_x = opt.blocks;
-  copt.blocks_y = opt.blocks;
-  copt.seed = opt.seed;
-  Result<Scene> scene = GenerateCity(copt);
-  if (!scene.ok()) {
-    std::fprintf(stderr, "testbed: %s\n", scene.status().ToString().c_str());
-    std::abort();
-  }
-
-  CellGridOptions gopt;
-  gopt.cells_x = opt.cells;
-  gopt.cells_y = opt.cells;
-  Result<CellGrid> grid = CellGrid::Build(scene->bounds(), gopt);
-  if (!grid.ok()) {
-    std::fprintf(stderr, "testbed: %s\n", grid.status().ToString().c_str());
-    std::abort();
-  }
-
-  PrecomputeOptions popt;
-  popt.dov.cubemap.face_resolution = opt.face_resolution;
-  popt.samples_per_cell = opt.samples_per_cell;
-  popt.threads = opt.threads;
-  Result<VisibilityTable> table = PrecomputeVisibility(*scene, *grid, popt);
-  if (!table.ok()) {
-    std::fprintf(stderr, "testbed: %s\n", table.status().ToString().c_str());
+  Result<Testbed> bed = [&]() -> Result<Testbed> {
+    if (BenchDbPath().empty()) {
+      return hdov::BuildTestbed(opt);
+    }
+    HDOV_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotLoader> snapshot,
+                          SnapshotLoader::Open(BenchDbPath()));
+    return LoadWorldSections(*snapshot);
+  }();
+  if (!bed.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", bed.status().ToString().c_str());
     std::abort();
   }
   if (report != nullptr) {
-    report->RecordTiming("testbed.build", timer.ElapsedMs());
+    report->RecordTiming(
+        BenchDbPath().empty() ? "testbed.build" : "testbed.load",
+        timer.ElapsedMs());
   }
-  return Testbed{std::move(*scene), std::move(*grid), std::move(*table)};
+  return std::move(*bed);
 }
 
-// Experiment-standard VISUAL configuration: fanout 8 so that leaf nodes
-// cover block-scale object clusters — the granularity at which distant
-// clusters' aggregate DoV falls below the paper's eta range [0, 0.008].
 inline VisualOptions DefaultVisualOptions() {
-  VisualOptions opt;
-  opt.build.rtree.max_entries = 8;
-  opt.build.rtree.min_entries = 3;
-  opt.prefetch_models_per_frame = 2;  // Smooths walkthrough cell flips.
-  opt.build_threads = BenchThreads();
-  return opt;
+  return hdov::DefaultVisualOptions(BenchThreads());
+}
+
+// VisualSystem::Create over the testbed — or CreateFromSnapshot when --db
+// was given, skipping the tree/store/model build entirely. `bed` must be
+// the testbed returned by BuildTestbed (with --db, the snapshot's own
+// world), and must outlive the system.
+inline Result<std::unique_ptr<VisualSystem>> MakeVisualSystem(
+    const Testbed& bed, const VisualOptions& options) {
+  if (BenchDbPath().empty()) {
+    return VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, options);
+  }
+  HDOV_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotLoader> snapshot,
+                        SnapshotLoader::Open(BenchDbPath()));
+  return VisualSystem::CreateFromSnapshot(*snapshot, &bed.scene, &bed.grid,
+                                          options);
 }
 
 // `count` random query viewpoints at eye height inside the world bounds.

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli polynomial, iSCSI/ext4 flavour) used to checksum
+// on-disk pages and snapshot sections. Software slicing-by-8 tables; no
+// hardware instructions so results are identical on every platform.
+
+#ifndef HDOV_COMMON_CRC32C_H_
+#define HDOV_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hdov {
+
+// Extends `crc` (a previous Crc32c result, or 0 for a fresh run) with `n`
+// bytes at `data`.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// Checksum of a whole buffer.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace hdov
+
+#endif  // HDOV_COMMON_CRC32C_H_

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/coding.h"
+
 namespace hdov {
 
 Result<std::unique_ptr<BitmapVerticalStore>> BitmapVerticalStore::Build(
@@ -42,6 +44,31 @@ Result<std::unique_ptr<BitmapVerticalStore>> BitmapVerticalStore::Build(
   HDOV_ASSIGN_OR_RETURN(store->index_extent_,
                         store->index_file_.Append(blob));
   return store;
+}
+
+Result<std::unique_ptr<BitmapVerticalStore>> BitmapVerticalStore::Load(
+    const HdovTree& tree, std::string_view meta, PageDevice* device) {
+  Decoder decoder(meta);
+  auto store = std::unique_ptr<BitmapVerticalStore>(new BitmapVerticalStore(
+      device, VPageRecordSize(tree.fanout()), tree.num_nodes()));
+  HDOV_RETURN_IF_ERROR(DecodeExtent(&decoder, &store->index_extent_));
+  uint64_t cells = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&cells));
+  store->cell_base_.resize(cells);
+  for (uint64_t& base : store->cell_base_) {
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&base));
+  }
+  HDOV_RETURN_IF_ERROR(store->vpages_.RestoreMeta(&decoder));
+  return store;
+}
+
+void BitmapVerticalStore::EncodeMeta(std::string* dst) const {
+  EncodeExtent(dst, index_extent_);
+  EncodeFixed64(dst, cell_base_.size());
+  for (uint64_t base : cell_base_) {
+    EncodeFixed64(dst, base);
+  }
+  vpages_.EncodeMeta(dst);
 }
 
 Status BitmapVerticalStore::BeginCell(CellId cell) {

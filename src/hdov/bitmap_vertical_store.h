@@ -28,11 +28,17 @@ class BitmapVerticalStore : public VisibilityStore {
       const HdovTree& tree, const std::vector<CellVPageSet>& cells,
       PageDevice* device);
 
+  // Reattaches a built store to a restored device image from EncodeMeta
+  // output (no I/O billed).
+  static Result<std::unique_ptr<BitmapVerticalStore>> Load(
+      const HdovTree& tree, std::string_view meta, PageDevice* device);
+
   std::string name() const override { return "bitmap-vertical"; }
   Status BeginCell(CellId cell) override;
   Status GetVPage(uint32_t node_id, VPage* page, bool* visible) override;
   uint64_t SizeBytes() const override { return device_->SizeBytes(); }
   PageDevice* device() const override { return device_; }
+  void EncodeMeta(std::string* dst) const override;
 
  private:
   BitmapVerticalStore(PageDevice* device, size_t record_size,

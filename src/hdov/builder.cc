@@ -284,4 +284,33 @@ Result<std::unique_ptr<VisibilityStore>> BuildStore(
   return Status::InvalidArgument("unknown storage scheme");
 }
 
+Result<std::unique_ptr<VisibilityStore>> LoadStore(StorageScheme scheme,
+                                                   const HdovTree& tree,
+                                                   std::string_view meta,
+                                                   PageDevice* device) {
+  switch (scheme) {
+    case StorageScheme::kHorizontal: {
+      HDOV_ASSIGN_OR_RETURN(auto store,
+                            HorizontalStore::Load(tree, meta, device));
+      return std::unique_ptr<VisibilityStore>(std::move(store));
+    }
+    case StorageScheme::kVertical: {
+      HDOV_ASSIGN_OR_RETURN(auto store,
+                            VerticalStore::Load(tree, meta, device));
+      return std::unique_ptr<VisibilityStore>(std::move(store));
+    }
+    case StorageScheme::kIndexedVertical: {
+      HDOV_ASSIGN_OR_RETURN(auto store,
+                            IndexedVerticalStore::Load(tree, meta, device));
+      return std::unique_ptr<VisibilityStore>(std::move(store));
+    }
+    case StorageScheme::kBitmapVertical: {
+      HDOV_ASSIGN_OR_RETURN(auto store,
+                            BitmapVerticalStore::Load(tree, meta, device));
+      return std::unique_ptr<VisibilityStore>(std::move(store));
+    }
+  }
+  return Status::InvalidArgument("unknown storage scheme");
+}
+
 }  // namespace hdov

@@ -13,6 +13,7 @@
 #define HDOV_HDOV_BUILDER_H_
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -100,6 +101,14 @@ std::string StorageSchemeName(StorageScheme scheme);
 Result<std::unique_ptr<VisibilityStore>> BuildStore(
     StorageScheme scheme, const HdovTree& tree, const VisibilityTable& table,
     PageDevice* device, uint32_t threads = 1);
+
+// Reattaches a previously built store to a restored device image from its
+// VisibilityStore::EncodeMeta bytes. No I/O is billed; the loaded store
+// serves queries with counters identical to the freshly built one.
+Result<std::unique_ptr<VisibilityStore>> LoadStore(StorageScheme scheme,
+                                                   const HdovTree& tree,
+                                                   std::string_view meta,
+                                                   PageDevice* device);
 
 }  // namespace hdov
 

@@ -133,34 +133,44 @@ Result<HdovNode> HdovTree::ReadNode(PageDevice* device, PageId page,
   return node;
 }
 
-Result<Extent> HdovTree::WriteManifest(PagedFile* file) const {
-  std::string out;
-  EncodeFixed32(&out, static_cast<uint32_t>(nodes_.size()));
-  EncodeFixed64(&out, fanout_);
-  EncodeDouble(&out, s_ratio_);
+Status HdovTree::EncodeManifest(std::string* out) const {
+  EncodeFixed32(out, static_cast<uint32_t>(nodes_.size()));
+  EncodeFixed64(out, fanout_);
+  EncodeDouble(out, s_ratio_);
   for (size_t index : dfs_order_) {
     const HdovNode& node = nodes_[index];
     if (node.page == kInvalidPage) {
       return Status::FailedPrecondition(
-          "hdov tree: WriteManifest requires Pack() first");
+          "hdov tree: EncodeManifest requires Pack() first");
     }
-    EncodeFixed64(&out, node.page);
-    EncodeFixed32(&out, node.page_offset);
+    EncodeFixed64(out, node.page);
+    EncodeFixed32(out, node.page_offset);
   }
-  EncodeFixed32(&out, static_cast<uint32_t>(object_models_.size()));
+  EncodeFixed32(out, static_cast<uint32_t>(object_models_.size()));
   for (const auto& models : object_models_) {
-    EncodeFixed32(&out, static_cast<uint32_t>(models.size()));
+    EncodeFixed32(out, static_cast<uint32_t>(models.size()));
     for (ModelId model : models) {
-      EncodeFixed64(&out, model);
+      EncodeFixed64(out, model);
     }
   }
+  return Status::OK();
+}
+
+Result<Extent> HdovTree::WriteManifest(PagedFile* file) const {
+  std::string out;
+  HDOV_RETURN_IF_ERROR(EncodeManifest(&out));
   return file->Append(out);
 }
 
 Result<HdovTree> HdovTree::LoadFrom(PageDevice* device, PagedFile* file,
                                     const Extent& manifest) {
   HDOV_ASSIGN_OR_RETURN(std::string data, file->ReadExtent(manifest));
-  Decoder decoder(data);
+  return FromManifest(device, data);
+}
+
+Result<HdovTree> HdovTree::FromManifest(PageDevice* device,
+                                        std::string_view manifest) {
+  Decoder decoder(manifest);
   uint32_t num_nodes = 0;
   HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&num_nodes));
   HdovTree tree;

@@ -104,8 +104,16 @@ class HdovTree {
 
   static std::string SerializeNode(const HdovNode& node);
 
-  // Writes the tree manifest — node locations, fanout, s ratio and the
-  // object LoD model table — as one extent of `file` (which must wrap the
+  // Serializes the tree manifest — node locations, fanout, s ratio and the
+  // object LoD model table — into `out`. Requires Pack() first.
+  Status EncodeManifest(std::string* out) const;
+
+  // Restores a tree from Pack()'ed node pages plus EncodeManifest bytes.
+  // Node reads are billed on `device` like any traversal.
+  static Result<HdovTree> FromManifest(PageDevice* device,
+                                       std::string_view manifest);
+
+  // Writes the tree manifest as one extent of `file` (which must wrap the
   // same device Pack() wrote to, or another one). Together with the device
   // image (PageDevice::SaveToFile) this makes the tree fully persistent.
   Result<Extent> WriteManifest(PagedFile* file) const;

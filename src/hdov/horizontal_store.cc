@@ -1,5 +1,7 @@
 #include "hdov/horizontal_store.h"
 
+#include "common/coding.h"
+
 namespace hdov {
 
 Result<std::unique_ptr<HorizontalStore>> HorizontalStore::Build(
@@ -29,6 +31,22 @@ Result<std::unique_ptr<HorizontalStore>> HorizontalStore::Build(
   }
   HDOV_RETURN_IF_ERROR(store->file_.FinishBuild());
   return store;
+}
+
+Result<std::unique_ptr<HorizontalStore>> HorizontalStore::Load(
+    const HdovTree& tree, std::string_view meta, PageDevice* device) {
+  Decoder decoder(meta);
+  uint32_t num_cells = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&num_cells));
+  auto store = std::unique_ptr<HorizontalStore>(new HorizontalStore(
+      device, VPageRecordSize(tree.fanout()), num_cells));
+  HDOV_RETURN_IF_ERROR(store->file_.RestoreMeta(&decoder));
+  return store;
+}
+
+void HorizontalStore::EncodeMeta(std::string* dst) const {
+  EncodeFixed32(dst, num_cells_);
+  file_.EncodeMeta(dst);
 }
 
 Status HorizontalStore::BeginCell(CellId cell) {

@@ -22,11 +22,18 @@ class HorizontalStore : public VisibilityStore {
       const HdovTree& tree, const std::vector<CellVPageSet>& cells,
       PageDevice* device);
 
+  // Reattaches a built store to a restored device image from EncodeMeta
+  // output (no I/O billed).
+  static Result<std::unique_ptr<HorizontalStore>> Load(const HdovTree& tree,
+                                                       std::string_view meta,
+                                                       PageDevice* device);
+
   std::string name() const override { return "horizontal"; }
   Status BeginCell(CellId cell) override;
   Status GetVPage(uint32_t node_id, VPage* page, bool* visible) override;
   uint64_t SizeBytes() const override { return device_->SizeBytes(); }
   PageDevice* device() const override { return device_; }
+  void EncodeMeta(std::string* dst) const override;
 
  private:
   HorizontalStore(PageDevice* device, size_t record_size, uint32_t num_cells)

@@ -56,6 +56,33 @@ Result<std::unique_ptr<IndexedVerticalStore>> IndexedVerticalStore::Build(
   return store;
 }
 
+Result<std::unique_ptr<IndexedVerticalStore>> IndexedVerticalStore::Load(
+    const HdovTree& tree, std::string_view meta, PageDevice* device) {
+  Decoder decoder(meta);
+  auto store = std::unique_ptr<IndexedVerticalStore>(
+      new IndexedVerticalStore(device, VPageRecordSize(tree.fanout())));
+  HDOV_RETURN_IF_ERROR(DecodeExtent(&decoder, &store->index_extent_));
+  uint64_t cells = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&cells));
+  store->segment_dir_.resize(cells);
+  for (auto& [offset, length] : store->segment_dir_) {
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&offset));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&length));
+  }
+  HDOV_RETURN_IF_ERROR(store->vpages_.RestoreMeta(&decoder));
+  return store;
+}
+
+void IndexedVerticalStore::EncodeMeta(std::string* dst) const {
+  EncodeExtent(dst, index_extent_);
+  EncodeFixed64(dst, segment_dir_.size());
+  for (const auto& [offset, length] : segment_dir_) {
+    EncodeFixed64(dst, offset);
+    EncodeFixed64(dst, length);
+  }
+  vpages_.EncodeMeta(dst);
+}
+
 Status IndexedVerticalStore::BeginCell(CellId cell) {
   if (cell >= segment_dir_.size()) {
     return Status::OutOfRange("indexed-vertical store: cell out of range");

@@ -53,6 +53,25 @@ Result<std::unique_ptr<VerticalStore>> VerticalStore::Build(
   return store;
 }
 
+Result<std::unique_ptr<VerticalStore>> VerticalStore::Load(
+    const HdovTree& tree, std::string_view meta, PageDevice* device) {
+  Decoder decoder(meta);
+  auto store = std::unique_ptr<VerticalStore>(
+      new VerticalStore(device, VPageRecordSize(tree.fanout())));
+  HDOV_RETURN_IF_ERROR(DecodeExtent(&decoder, &store->index_extent_));
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&store->segment_bytes_));
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed32(&store->num_cells_));
+  HDOV_RETURN_IF_ERROR(store->vpages_.RestoreMeta(&decoder));
+  return store;
+}
+
+void VerticalStore::EncodeMeta(std::string* dst) const {
+  EncodeExtent(dst, index_extent_);
+  EncodeFixed64(dst, segment_bytes_);
+  EncodeFixed32(dst, num_cells_);
+  vpages_.EncodeMeta(dst);
+}
+
 Status VerticalStore::BeginCell(CellId cell) {
   if (cell >= num_cells_) {
     return Status::OutOfRange("vertical store: cell out of range");

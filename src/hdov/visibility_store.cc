@@ -57,6 +57,38 @@ Status VPageFile::FlushPending() {
   return Status::OK();
 }
 
+void VPageFile::EncodeMeta(std::string* dst) const {
+  EncodeFixed64(dst, next_slot_);
+  EncodeFixed64(dst, pages_.size());
+  for (PageId page : pages_) {
+    EncodeFixed64(dst, page);
+  }
+}
+
+Status VPageFile::RestoreMeta(Decoder* decoder) {
+  uint64_t records = 0;
+  uint64_t page_count = 0;
+  HDOV_RETURN_IF_ERROR(decoder->DecodeFixed64(&records));
+  HDOV_RETURN_IF_ERROR(decoder->DecodeFixed64(&page_count));
+  std::vector<PageId> pages(page_count);
+  for (PageId& page : pages) {
+    HDOV_RETURN_IF_ERROR(decoder->DecodeFixed64(&page));
+    if (page >= device_->page_count()) {
+      return Status::Corruption("vpage file: page id past device end");
+    }
+  }
+  const uint64_t needed =
+      (records + records_per_page_ - 1) / records_per_page_;
+  if (needed != page_count) {
+    return Status::Corruption("vpage file: record/page count mismatch");
+  }
+  next_slot_ = records;
+  pages_ = std::move(pages);
+  pending_.clear();
+  InvalidateCache();
+  return Status::OK();
+}
+
 Status VPageFile::ReadRecord(uint64_t slot, VPage* page) {
   if (slot >= next_slot_) {
     return Status::OutOfRange("vpage file: slot out of range");

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/coding.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "hdov/vpage.h"
@@ -58,6 +59,11 @@ class VisibilityStore {
 
   virtual PageDevice* device() const = 0;
 
+  // Serializes the store's device-resident layout metadata (extents,
+  // directories, V-page file layout) so the store can be reattached to a
+  // restored device image by the matching static Load() of its class.
+  virtual void EncodeMeta(std::string* dst) const = 0;
+
   const VisibilityStoreStats& telemetry_stats() const { return tstats_; }
 
   // Registers read-through views over the per-store counters as
@@ -93,6 +99,12 @@ class VPageFile {
   void InvalidateCache() { cached_page_ = kInvalidPage; }
 
   uint64_t num_records() const { return next_slot_; }
+
+  // Serializes the built layout (record count + device pages) / restores
+  // it into a freshly constructed VPageFile over the same device image and
+  // record size. RestoreMeta leaves the file in the post-FinishBuild state.
+  void EncodeMeta(std::string* dst) const;
+  Status RestoreMeta(Decoder* decoder);
 
  private:
   Status FlushPending();

@@ -1,0 +1,149 @@
+// Versioned snapshot container: one file holding everything a built HDoV
+// world needs to come back — named sections for the scene, the cell grid,
+// the visibility table, the tree manifest, store/model metadata, and the
+// four logical page devices (tree nodes, V-page store, V-page index
+// segments, model data) embedded as FilePageDevice regions.
+//
+// File layout (all offsets page-aligned):
+//
+//   [0, page_size)    superblock: magic "HDOVSNAP", version, page size,
+//                     section count, catalog location + CRC32C, own CRC
+//   sections...       blobs (CRC32C in the catalog) and device regions
+//                     (self-checksummed, see storage/file_device.h)
+//   catalog           name -> (kind, offset, length, crc) table
+//
+// Commit protocol: everything is written to `<path>.tmp`, fsync'ed, then
+// renamed over `<path>` and the parent directory fsync'ed — a crash leaves
+// either the old snapshot or the new one, never a torn file.
+
+#ifndef HDOV_PERSIST_SNAPSHOT_H_
+#define HDOV_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file_device.h"
+#include "storage/page_device.h"
+
+namespace hdov {
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+enum class SectionKind : uint8_t {
+  kBlob = 0,    // Opaque bytes, CRC32C in the catalog entry.
+  kDevice = 1,  // FilePageDevice region (self-describing, per-page CRCs).
+};
+
+class SnapshotWriter {
+ public:
+  // Starts a snapshot at `<path>.tmp`. Nothing is visible at `path` until
+  // Commit() succeeds. `stats` (optional) accumulates persist.* counters.
+  static Result<std::unique_ptr<SnapshotWriter>> Create(
+      const std::string& path, uint32_t page_size = DiskModel().page_size,
+      PersistStats* stats = nullptr);
+
+  // Best-effort removal of the temp file when destroyed uncommitted.
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  // Appends a named blob section.
+  Status AddBlob(const std::string& name, std::string_view bytes);
+
+  // Appends a named device section holding a full page-for-page image of
+  // `device` (unmaterialized extents are recorded by state only, so a
+  // mostly-unmaterialized multi-GB model device stays small on disk).
+  Status AddDevice(const std::string& name, const PageDevice& device);
+
+  // Writes catalog + superblock, fsyncs, renames the temp file over
+  // `path`, and fsyncs the parent directory.
+  Status Commit();
+
+  const std::string& path() const { return final_path_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    SectionKind kind = SectionKind::kBlob;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+  };
+
+  SnapshotWriter(std::string final_path, std::string temp_path,
+                 std::shared_ptr<FileHandle> file, uint32_t page_size,
+                 PersistStats* stats);
+
+  Status CheckName(const std::string& name) const;
+  uint64_t AlignedEnd() const;
+
+  std::string final_path_;
+  std::string temp_path_;
+  std::shared_ptr<FileHandle> file_;
+  uint32_t page_size_;
+  PersistStats* stats_;  // May be null.
+  uint64_t next_offset_;
+  std::vector<Entry> entries_;
+  bool committed_ = false;
+};
+
+class SnapshotLoader {
+ public:
+  // Opens a committed snapshot read-only, verifying superblock and catalog
+  // checksums up front. Section data is verified as it is read.
+  static Result<std::unique_ptr<SnapshotLoader>> Open(
+      const std::string& path, PersistStats* stats = nullptr);
+
+  uint32_t page_size() const { return page_size_; }
+  const std::string& path() const { return path_; }
+
+  bool Contains(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+  std::vector<std::string> SectionNames() const;
+
+  // Reads a blob section, verifying its CRC32C.
+  Result<std::string> ReadBlob(const std::string& name) const;
+
+  // Restores a device section into `dst` (unbilled; page CRCs verified).
+  // `dst` must use the page size the section was written with.
+  Status RestoreDevice(const std::string& name, PageDevice* dst) const;
+
+  // Serves a device section in place from the snapshot file: reads come
+  // from pread + CRC check while billing the same simulated costs as an
+  // in-memory device.
+  Result<std::unique_ptr<FilePageDevice>> OpenDevice(const std::string& name,
+                                                     const DiskModel& model,
+                                                     SimClock* clock) const;
+
+ private:
+  struct Entry {
+    SectionKind kind = SectionKind::kBlob;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+  };
+
+  SnapshotLoader(std::string path, std::shared_ptr<FileHandle> file,
+                 PersistStats* stats)
+      : path_(std::move(path)), file_(std::move(file)), stats_(stats) {}
+
+  Result<const Entry*> Find(const std::string& name, SectionKind kind) const;
+
+  std::string path_;
+  std::shared_ptr<FileHandle> file_;
+  PersistStats* stats_;  // May be null.
+  uint32_t page_size_ = 0;
+  std::map<std::string, Entry> sections_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,47 @@
+// Byte codecs for the view-invariant world data stored in a snapshot: the
+// Scene (objects, MBRs, LoD chains — meshes included in full-geometry
+// mode), the CellGridOptions (the grid itself is rebuilt deterministically
+// from the scene bounds), and the per-cell VisibilityTable. All numeric
+// fields use the fixed-width little-endian coding helpers, so doubles and
+// floats round-trip bit-exactly.
+
+#ifndef HDOV_PERSIST_WORLD_CODEC_H_
+#define HDOV_PERSIST_WORLD_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "scene/cell_grid.h"
+#include "scene/object.h"
+#include "visibility/precompute.h"
+
+namespace hdov {
+
+// Section names of the canonical world snapshot layout (written by
+// tools/hdov_build, consumed by VisualSystem::CreateFromSnapshot).
+inline constexpr char kSectionScene[] = "scene";
+inline constexpr char kSectionCellGrid[] = "cellgrid";
+inline constexpr char kSectionVisTable[] = "vistable";
+inline constexpr char kSectionTreeManifest[] = "tree/manifest";
+inline constexpr char kSectionTreeDevice[] = "tree/device";
+inline constexpr char kSectionModelMeta[] = "model/meta";
+inline constexpr char kSectionModelDevice[] = "model/device";
+
+// Per-storage-scheme sections: "store/<scheme-name>/meta" and
+// ".../device" (`scheme_name` from StorageSchemeName).
+std::string StoreMetaSection(std::string_view scheme_name);
+std::string StoreDeviceSection(std::string_view scheme_name);
+
+void EncodeScene(const Scene& scene, std::string* out);
+Result<Scene> DecodeScene(std::string_view data);
+
+void EncodeCellGridOptions(const CellGridOptions& options, std::string* out);
+Result<CellGridOptions> DecodeCellGridOptions(std::string_view data);
+
+void EncodeVisibilityTable(const VisibilityTable& table, std::string* out);
+Result<VisibilityTable> DecodeVisibilityTable(std::string_view data);
+
+}  // namespace hdov
+
+#endif  // HDOV_PERSIST_WORLD_CODEC_H_

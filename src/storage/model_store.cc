@@ -1,5 +1,7 @@
 #include "storage/model_store.h"
 
+#include "common/coding.h"
+
 namespace hdov {
 
 ModelId ModelStore::Register(uint64_t bytes) {
@@ -22,6 +24,36 @@ Status ModelStore::Fetch(ModelId id) {
   }
   const ModelExtent& extent = extents_[id];
   return device_->ReadRun(extent.first_page, extent.page_count, nullptr);
+}
+
+void ModelStore::EncodeMeta(std::string* dst) const {
+  EncodeFixed64(dst, extents_.size());
+  for (const ModelExtent& extent : extents_) {
+    EncodeFixed64(dst, extent.first_page);
+    EncodeFixed64(dst, extent.page_count);
+    EncodeFixed64(dst, extent.bytes);
+  }
+  EncodeFixed64(dst, total_bytes_);
+}
+
+Status ModelStore::RestoreMeta(std::string_view meta) {
+  Decoder decoder(meta);
+  uint64_t count = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&count));
+  std::vector<ModelExtent> extents(count);
+  for (ModelExtent& extent : extents) {
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&extent.first_page));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&extent.page_count));
+    HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&extent.bytes));
+    if (extent.first_page + extent.page_count > device_->page_count()) {
+      return Status::Corruption("model store: extent past device end");
+    }
+  }
+  uint64_t total = 0;
+  HDOV_RETURN_IF_ERROR(decoder.DecodeFixed64(&total));
+  extents_ = std::move(extents);
+  total_bytes_ = total;
+  return Status::OK();
 }
 
 }  // namespace hdov

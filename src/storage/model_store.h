@@ -8,6 +8,8 @@
 #define HDOV_STORAGE_MODEL_STORE_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +41,12 @@ class ModelStore {
   uint64_t total_bytes() const { return total_bytes_; }
 
   PageDevice* device() const { return device_; }
+
+  // Serializes the extent table so a store can be reattached to a restored
+  // device image / restores it. The store must be freshly constructed over
+  // a device holding (at least) the pages the extents reference.
+  void EncodeMeta(std::string* dst) const;
+  Status RestoreMeta(std::string_view meta);
 
  private:
   struct ModelExtent {

@@ -13,6 +13,8 @@ constexpr uint32_t kDeviceMagic = 0x76644856;  // Bytes "VHdv" on disk.
 PageDevice::PageDevice(const DiskModel& model, SimClock* clock)
     : model_(model), clock_(clock != nullptr ? clock : &own_clock_) {}
 
+PageDevice::~PageDevice() = default;
+
 PageId PageDevice::Allocate() {
   pages_.emplace_back();
   pages_.back().resize(model_.page_size, '\0');
@@ -35,13 +37,7 @@ Status PageDevice::Write(PageId page, std::string_view data) {
   std::string& slot = pages_[page];
   slot.assign(model_.page_size, '\0');
   slot.replace(0, data.size(), data);
-
-  ++stats_.page_writes;
-  stats_.bytes_written += model_.page_size;
-  uint64_t seeks = (page == next_sequential_) ? 0 : 1;
-  stats_.seeks += seeks;
-  clock_->AdvanceMillis(model_.ReadCostMillis(1, seeks));
-  next_sequential_ = page + 1;
+  BillWrite(page);
   return Status::OK();
 }
 
@@ -85,6 +81,46 @@ Status PageDevice::ReadRun(PageId first, uint64_t count,
   return Status::OK();
 }
 
+Status PageDevice::ReadRaw(PageId page, std::string* out) const {
+  if (page >= pages_.size()) {
+    return Status::OutOfRange("page device: raw read past end");
+  }
+  const std::string& slot = pages_[page];
+  if (slot.empty()) {
+    out->assign(model_.page_size, '\0');
+  } else {
+    *out = slot;
+  }
+  return Status::OK();
+}
+
+bool PageDevice::IsMaterialized(PageId page) const {
+  return page < pages_.size() && !pages_[page].empty();
+}
+
+Status PageDevice::RestoreContents(std::vector<std::string> pages) {
+  for (const std::string& page : pages) {
+    if (!page.empty() && page.size() != model_.page_size) {
+      return Status::InvalidArgument(
+          "page device: restored page has wrong size");
+    }
+  }
+  pages_ = std::move(pages);
+  next_sequential_ = kInvalidPage;
+  return Status::OK();
+}
+
+Status PageDevice::ExportContents(std::vector<std::string>* out) const {
+  out->clear();
+  out->resize(page_count());
+  for (PageId id = 0; id < page_count(); ++id) {
+    if (IsMaterialized(id)) {
+      HDOV_RETURN_IF_ERROR(ReadRaw(id, &(*out)[id]));
+    }
+  }
+  return Status::OK();
+}
+
 Status PageDevice::SaveToFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
@@ -93,12 +129,14 @@ Status PageDevice::SaveToFile(const std::string& path) const {
   std::string header;
   EncodeFixed32(&header, kDeviceMagic);
   EncodeFixed32(&header, model_.page_size);
-  EncodeFixed64(&header, pages_.size());
+  EncodeFixed64(&header, page_count());
   out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  for (const std::string& page : pages_) {
-    const char materialized = page.empty() ? 0 : 1;
+  std::string page;
+  for (PageId id = 0; id < page_count(); ++id) {
+    const char materialized = IsMaterialized(id) ? 1 : 0;
     out.put(materialized);
     if (materialized) {
+      HDOV_RETURN_IF_ERROR(ReadRaw(id, &page));
       out.write(page.data(), static_cast<std::streamsize>(page.size()));
     }
   }
@@ -147,9 +185,7 @@ Status PageDevice::LoadFromFile(const std::string& path) {
       }
     }
   }
-  pages_ = std::move(pages);
-  next_sequential_ = kInvalidPage;
-  return Status::OK();
+  return RestoreContents(std::move(pages));
 }
 
 void PageDevice::RegisterWith(telemetry::MetricsRegistry* registry,
@@ -174,6 +210,15 @@ void PageDevice::BillRead(PageId first, uint64_t pages) {
   stats_.seeks += seeks;
   clock_->AdvanceMillis(model_.ReadCostMillis(pages, seeks));
   next_sequential_ = first + pages;
+}
+
+void PageDevice::BillWrite(PageId page) {
+  ++stats_.page_writes;
+  stats_.bytes_written += model_.page_size;
+  uint64_t seeks = (page == next_sequential_) ? 0 : 1;
+  stats_.seeks += seeks;
+  clock_->AdvanceMillis(model_.ReadCostMillis(1, seeks));
+  next_sequential_ = page + 1;
 }
 
 }  // namespace hdov

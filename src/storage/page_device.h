@@ -1,8 +1,10 @@
 // PageDevice: the simulated disk. Pages are fixed-size; every access is
 // billed against a DiskModel (seek + transfer) on a shared SimClock, and
-// counted in IoStats. Backing storage is in-memory; extents can also be
-// allocated *unmaterialized* so that multi-gigabyte model data can be
-// billed for without being stored (reads of such pages return zeros).
+// counted in IoStats. The base class backs pages in memory; extents can
+// also be allocated *unmaterialized* so that multi-gigabyte model data can
+// be billed for without being stored (reads of such pages return zeros).
+// FilePageDevice (storage/file_device.h) implements the same contract
+// against a real file while billing the same simulated costs.
 
 #ifndef HDOV_STORAGE_PAGE_DEVICE_H_
 #define HDOV_STORAGE_PAGE_DEVICE_H_
@@ -30,45 +32,72 @@ class PageDevice {
   // clock between them so costs accumulate on a single timeline.
   explicit PageDevice(const DiskModel& model = DiskModel(),
                       SimClock* clock = nullptr);
+  virtual ~PageDevice();
 
   PageDevice(const PageDevice&) = delete;
   PageDevice& operator=(const PageDevice&) = delete;
 
   const DiskModel& model() const { return model_; }
   uint32_t page_size() const { return model_.page_size; }
-  uint64_t page_count() const { return pages_.size(); }
+  virtual uint64_t page_count() const { return pages_.size(); }
 
   // Bytes the device would occupy on disk (all allocated pages, whether or
   // not materialized). This is the number Table 2 reports.
   uint64_t SizeBytes() const { return page_count() * page_size(); }
 
   // Allocates one zero page and returns its id.
-  PageId Allocate();
+  virtual PageId Allocate();
 
   // Allocates `count` contiguous pages without materializing contents.
   // Returns the first page id. Reads return zero bytes but are billed.
-  PageId AllocateUnmaterialized(uint64_t count);
+  virtual PageId AllocateUnmaterialized(uint64_t count);
 
   // Writes `data` (at most page_size bytes) to `page`.
-  Status Write(PageId page, std::string_view data);
+  virtual Status Write(PageId page, std::string_view data);
 
   // Reads one page into `out` (resized to page_size).
-  Status Read(PageId page, std::string* out);
+  virtual Status Read(PageId page, std::string* out);
 
   // Reads `count` consecutive pages starting at `first`. Billed as one
   // seek + `count` transfers. `out` may be null when only the cost and the
   // counters matter (model data fetches).
-  Status ReadRun(PageId first, uint64_t count, std::vector<std::string>* out);
+  virtual Status ReadRun(PageId first, uint64_t count,
+                         std::vector<std::string>* out);
+
+  // Unbilled access used by persistence code: reads one page (zeros when
+  // unmaterialized) without touching the clock, the counters, or the
+  // sequential-access tracker. Never part of a simulated workload.
+  virtual Status ReadRaw(PageId page, std::string* out) const;
+
+  // True when `page` has materialized contents (ever written).
+  virtual bool IsMaterialized(PageId page) const;
+
+  // Unbilled restore of the full device image: each entry is either a
+  // page_size string (materialized) or empty (unmaterialized). Replaces
+  // any existing contents and resets the sequential-access tracker.
+  virtual Status RestoreContents(std::vector<std::string> pages);
+
+  // Unbilled export of the full device image in RestoreContents form, so a
+  // device can be copied across backends:
+  //   dst->RestoreContents(src.ExportContents(&pages)) style round trip.
+  Status ExportContents(std::vector<std::string>* out) const;
 
   // Persists the device image to a real file / restores it. Materialized
   // page contents are stored verbatim; unmaterialized extents are recorded
   // by length only, so a multi-GB logical device saves as a small file.
-  // Statistics and the cost model are not part of the image.
+  // Statistics and the cost model are not part of the image. Implemented
+  // on top of ReadRaw/RestoreContents, so they work for any subclass.
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats(); }
+
+  // Forgets the last-accessed position, so the next read is billed a seek
+  // regardless of where the previous access ended. Called when a system
+  // finishes construction, so a freshly built world and a snapshot-loaded
+  // one start their workloads from the same head state.
+  void ResetAccessTracker() { next_sequential_ = kInvalidPage; }
 
   // Folds this device's IoStats counters into `registry` as read-through
   // views named `<prefix>.page_reads`, `.page_writes`, `.seeks`,
@@ -81,15 +110,19 @@ class PageDevice {
   SimClock& clock() { return *clock_; }
   const SimClock& clock() const { return *clock_; }
 
- private:
+ protected:
   // Charges `pages` transfers starting at `first`; adds a seek when the
-  // access does not continue the previous one.
+  // access does not continue the previous one. Subclasses bill through
+  // these so simulated counters stay identical across backends.
   void BillRead(PageId first, uint64_t pages);
+  void BillWrite(PageId page);
 
   DiskModel model_;
+  IoStats stats_;
+
+ private:
   SimClock own_clock_;
   SimClock* clock_;
-  IoStats stats_;
   // Materialized page contents; empty string = unmaterialized (zeros).
   std::vector<std::string> pages_;
   PageId next_sequential_ = kInvalidPage;  // Page after the last access.

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/coding.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/page_device.h"
@@ -25,6 +26,19 @@ struct Extent {
     return page_count * page_size;
   }
 };
+
+// Extent <-> bytes, used by store/tree metadata blocks in snapshots.
+inline void EncodeExtent(std::string* dst, const Extent& extent) {
+  EncodeFixed64(dst, extent.first_page);
+  EncodeFixed64(dst, extent.page_count);
+  EncodeFixed64(dst, extent.byte_length);
+}
+
+inline Status DecodeExtent(Decoder* decoder, Extent* extent) {
+  HDOV_RETURN_IF_ERROR(decoder->DecodeFixed64(&extent->first_page));
+  HDOV_RETURN_IF_ERROR(decoder->DecodeFixed64(&extent->page_count));
+  return decoder->DecodeFixed64(&extent->byte_length);
+}
 
 class PagedFile {
  public:

@@ -46,7 +46,6 @@ class LodRTreeSystem : public WalkthroughSystem {
   std::string name() const override { return "LoD-R-tree"; }
   Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result) override;
   void ResetRuntime() override;
-  void set_delta_enabled(bool enabled) override { delta_enabled_ = enabled; }
   const std::vector<RetrievedLod>& last_result() const override {
     return last_result_;
   }
@@ -73,7 +72,6 @@ class LodRTreeSystem : public WalkthroughSystem {
   std::unique_ptr<PackedRTree> packed_;
   std::vector<std::vector<ModelId>> object_models_;
 
-  bool delta_enabled_ = true;
   std::unordered_map<ObjectId, std::pair<uint32_t, uint64_t>> resident_;
   std::vector<RetrievedLod> last_result_;
   telemetry::Histogram* frame_time_hist_ = nullptr;  // Valid while attached.

@@ -33,7 +33,6 @@ class NaiveSystem : public WalkthroughSystem {
   std::string name() const override { return "naive"; }
   Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result) override;
   void ResetRuntime() override;
-  void set_delta_enabled(bool enabled) override { delta_enabled_ = enabled; }
   const std::vector<RetrievedLod>& last_result() const override {
     return last_result_;
   }
@@ -70,7 +69,6 @@ class NaiveSystem : public WalkthroughSystem {
   std::vector<Extent> cell_extents_;
   std::vector<std::vector<ModelId>> object_models_;
 
-  bool delta_enabled_ = true;
   CellId current_cell_ = kInvalidCell;
   std::vector<std::pair<ObjectId, float>> cached_list_;  // Current cell.
   std::unordered_map<ModelId, uint64_t> resident_;

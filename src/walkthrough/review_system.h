@@ -45,7 +45,6 @@ class ReviewSystem : public WalkthroughSystem {
   std::string name() const override { return "REVIEW"; }
   Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result) override;
   void ResetRuntime() override;
-  void set_delta_enabled(bool enabled) override { delta_enabled_ = enabled; }
   const std::vector<RetrievedLod>& last_result() const override {
     return last_result_;
   }
@@ -83,7 +82,6 @@ class ReviewSystem : public WalkthroughSystem {
   std::unique_ptr<PackedRTree> packed_;
   std::vector<std::vector<ModelId>> object_models_;
 
-  bool delta_enabled_ = true;
   // object -> (lod level resident, bytes).
   std::unordered_map<ObjectId, std::pair<uint32_t, uint64_t>> resident_;
   std::vector<RetrievedLod> last_result_;

@@ -3,15 +3,35 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "persist/world_codec.h"
+
 namespace hdov {
 
 VisualSystem::VisualSystem(const Scene* scene, const CellGrid* grid,
                            const VisualOptions& options)
     : scene_(scene), grid_(grid), options_(options),
-      tree_device_(options.disk, &clock_),
-      store_device_(options.disk, &clock_),
-      model_device_(options.disk, &clock_),
-      models_(&model_device_) {}
+      tree_device_(std::make_unique<PageDevice>(options.disk, &clock_)),
+      store_device_(std::make_unique<PageDevice>(options.disk, &clock_)),
+      model_device_(std::make_unique<PageDevice>(options.disk, &clock_)),
+      models_(std::make_unique<ModelStore>(model_device_.get())) {}
+
+// Shared tail of Create / CreateFromSnapshot: wire the searcher and the
+// optional tree cache, then zero every simulated counter and the disk-head
+// trackers so measured workloads start from an identical state on both
+// paths.
+void VisualSystem::FinishConstruction() {
+  searcher_ = std::make_unique<HdovSearcher>(&tree_, scene_, models_.get(),
+                                             tree_device_.get());
+  if (options_.tree_cache_pages > 0) {
+    tree_cache_ = std::make_unique<BufferPool>(tree_device_.get(),
+                                               options_.tree_cache_pages);
+    searcher_->set_tree_cache(tree_cache_.get());
+  }
+  tree_device_->ResetAccessTracker();
+  store_device_->ResetAccessTracker();
+  model_device_->ResetAccessTracker();
+  ResetIoStats();
+}
 
 Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
     const Scene* scene, const CellGrid* grid, const VisibilityTable* table,
@@ -24,29 +44,73 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
       new VisualSystem(scene, grid, options));
   HDOV_ASSIGN_OR_RETURN(
       system->tree_,
-      HdovBuilder::Build(*scene, &system->models_, options.build));
-  HDOV_RETURN_IF_ERROR(system->tree_.Pack(&system->tree_device_));
+      HdovBuilder::Build(*scene, system->models_.get(), options.build));
+  HDOV_RETURN_IF_ERROR(system->tree_.Pack(system->tree_device_.get()));
   HDOV_ASSIGN_OR_RETURN(
       system->store_,
       BuildStore(options.scheme, system->tree_, *table,
-                 &system->store_device_, options.build_threads));
-  system->searcher_ = std::make_unique<HdovSearcher>(
-      &system->tree_, scene, &system->models_, &system->tree_device_);
-  if (options.tree_cache_pages > 0) {
-    system->tree_cache_ = std::make_unique<BufferPool>(
-        &system->tree_device_, options.tree_cache_pages);
-    system->searcher_->set_tree_cache(system->tree_cache_.get());
+                 system->store_device_.get(), options.build_threads));
+  system->FinishConstruction();
+  return system;
+}
+
+Result<std::unique_ptr<VisualSystem>> VisualSystem::CreateFromSnapshot(
+    const SnapshotLoader& snapshot, const Scene* scene, const CellGrid* grid,
+    const VisualOptions& options, SnapshotLoadMode mode) {
+  if (snapshot.page_size() != options.disk.page_size) {
+    return Status::InvalidArgument(
+        "visual: snapshot page size does not match the disk model");
   }
-  system->ResetIoStats();
+  auto system = std::unique_ptr<VisualSystem>(
+      new VisualSystem(scene, grid, options));
+  const std::string scheme = StorageSchemeName(options.scheme);
+  if (mode == SnapshotLoadMode::kFileBacked) {
+    HDOV_ASSIGN_OR_RETURN(
+        system->tree_device_,
+        snapshot.OpenDevice(kSectionTreeDevice, options.disk,
+                            &system->clock_));
+    HDOV_ASSIGN_OR_RETURN(
+        system->store_device_,
+        snapshot.OpenDevice(StoreDeviceSection(scheme), options.disk,
+                            &system->clock_));
+    HDOV_ASSIGN_OR_RETURN(
+        system->model_device_,
+        snapshot.OpenDevice(kSectionModelDevice, options.disk,
+                            &system->clock_));
+  } else {
+    HDOV_RETURN_IF_ERROR(snapshot.RestoreDevice(kSectionTreeDevice,
+                                                system->tree_device_.get()));
+    HDOV_RETURN_IF_ERROR(snapshot.RestoreDevice(
+        StoreDeviceSection(scheme), system->store_device_.get()));
+    HDOV_RETURN_IF_ERROR(snapshot.RestoreDevice(kSectionModelDevice,
+                                                system->model_device_.get()));
+  }
+  system->models_ =
+      std::make_unique<ModelStore>(system->model_device_.get());
+  HDOV_ASSIGN_OR_RETURN(std::string model_meta,
+                        snapshot.ReadBlob(kSectionModelMeta));
+  HDOV_RETURN_IF_ERROR(system->models_->RestoreMeta(model_meta));
+  HDOV_ASSIGN_OR_RETURN(std::string manifest,
+                        snapshot.ReadBlob(kSectionTreeManifest));
+  HDOV_ASSIGN_OR_RETURN(
+      system->tree_,
+      HdovTree::FromManifest(system->tree_device_.get(), manifest));
+  HDOV_ASSIGN_OR_RETURN(std::string store_meta,
+                        snapshot.ReadBlob(StoreMetaSection(scheme)));
+  HDOV_ASSIGN_OR_RETURN(
+      system->store_,
+      LoadStore(options.scheme, system->tree_, store_meta,
+                system->store_device_.get()));
+  system->FinishConstruction();
   return system;
 }
 
 void VisualSystem::RegisterTelemetry() {
   telemetry::MetricsRegistry& m = telemetry()->metrics();
   const std::string& p = telemetry_prefix();
-  tree_device_.RegisterWith(&m, p + ".io.tree");
-  store_device_.RegisterWith(&m, p + ".io.store");
-  model_device_.RegisterWith(&m, p + ".io.model");
+  tree_device_->RegisterWith(&m, p + ".io.tree");
+  store_device_->RegisterWith(&m, p + ".io.store");
+  model_device_->RegisterWith(&m, p + ".io.model");
   store_->RegisterTelemetry(&m, p);
   if (tree_cache_ != nullptr) {
     tree_cache_->RegisterWith(&m, p + ".cache.tree");
@@ -88,9 +152,9 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
   SearchStats* stats_out =
       stats != nullptr ? stats : (telemetry_on ? &local_stats : nullptr);
   const double t0 = clock_.NowMillis();
-  const IoStats tree0 = tree_device_.stats();
-  const IoStats store0 = store_device_.stats();
-  const IoStats model0 = model_device_.stats();
+  const IoStats tree0 = tree_device_->stats();
+  const IoStats store0 = store_device_->stats();
+  const IoStats model0 = model_device_->stats();
   if (telemetry_on) {
     search.trace = &telemetry()->tracer();
   }
@@ -98,7 +162,7 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
                                          stats_out));
   if (fetch_models) {
     for (const RetrievedLod& lod : *result) {
-      HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+      HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
     }
   }
   if (telemetry_on) {
@@ -107,9 +171,9 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
       // Standalone query (the Figs. 7-9 bench path): emit its own record.
       FrameResult r;
       r.query_time_ms = clock_.NowMillis() - t0;
-      const IoStats tree_d = tree_device_.stats().Delta(tree0);
-      const IoStats store_d = store_device_.stats().Delta(store0);
-      const IoStats model_d = model_device_.stats().Delta(model0);
+      const IoStats tree_d = tree_device_->stats().Delta(tree0);
+      const IoStats store_d = store_device_->stats().Delta(store0);
+      const IoStats model_d = model_device_->stats().Delta(model0);
       r.light_io_pages = tree_d.page_reads + store_d.page_reads;
       r.io_pages = r.light_io_pages + model_d.page_reads;
       r.index_bytes_read = tree_d.bytes_read;
@@ -133,7 +197,7 @@ Status VisualSystem::QueryWithHeuristic(const Vec3& position,
   HDOV_RETURN_IF_ERROR(
       searcher_->Search(store_.get(), cell, search, result, nullptr));
   for (const RetrievedLod& lod : *result) {
-    HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+    HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
   }
   return Status::OK();
 }
@@ -141,9 +205,9 @@ Status VisualSystem::QueryWithHeuristic(const Vec3& position,
 Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
                                  FrameResult* result) {
   const double t0 = clock_.NowMillis();
-  const IoStats tree0 = tree_device_.stats();
-  const IoStats store0 = store_device_.stats();
-  const IoStats model0 = model_device_.stats();
+  const IoStats tree0 = tree_device_->stats();
+  const IoStats store0 = store_device_->stats();
+  const IoStats model0 = model_device_->stats();
   const uint64_t cache_hits0 =
       tree_cache_ != nullptr ? tree_cache_->stats().hits : 0;
   const uint64_t cache_misses0 =
@@ -177,7 +241,7 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
     if (reusable) {
       entry = it->second;  // Render the (possibly finer) resident copy.
     } else {
-      HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+      HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
       ++fetched;
     }
     triangles += entry.triangle_count;
@@ -197,9 +261,9 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
     resident_.emplace(key, entry);  // Keep current-result entries as-is.
   }
 
-  const IoStats tree_d = tree_device_.stats().Delta(tree0);
-  const IoStats store_d = store_device_.stats().Delta(store0);
-  const IoStats model_d = model_device_.stats().Delta(model0);
+  const IoStats tree_d = tree_device_->stats().Delta(tree0);
+  const IoStats store_d = store_device_->stats().Delta(store0);
+  const IoStats model_d = model_device_->stats().Delta(model0);
 
   result->query_time_ms = clock_.NowMillis() - t0;
   result->light_io_pages = tree_d.page_reads + store_d.page_reads;
@@ -264,7 +328,7 @@ Status VisualSystem::RunPrefetch(const Viewpoint& viewpoint,
         pf != prefetch_.loaded.end() && pf->second.lod_level <= lod.lod_level) {
       continue;
     }
-    HDOV_RETURN_IF_ERROR(models_.Fetch(lod.model));
+    HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
     prefetch_.loaded[key] =
         ResidentEntry{lod.lod_level, lod.byte_size, lod.triangle_count};
     ++*fetched;
@@ -283,16 +347,16 @@ void VisualSystem::ResetRuntime() {
 }
 
 IoStats VisualSystem::TotalIoStats() const {
-  IoStats s = tree_device_.stats();
-  s += store_device_.stats();
-  s += model_device_.stats();
+  IoStats s = tree_device_->stats();
+  s += store_device_->stats();
+  s += model_device_->stats();
   return s;
 }
 
 void VisualSystem::ResetIoStats() {
-  tree_device_.ResetStats();
-  store_device_.ResetStats();
-  model_device_.ResetStats();
+  tree_device_->ResetStats();
+  store_device_->ResetStats();
+  model_device_->ResetStats();
   clock_.Reset();
 }
 

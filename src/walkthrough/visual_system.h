@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "hdov/builder.h"
 #include "hdov/search.h"
+#include "persist/snapshot.h"
 #include "scene/cell_grid.h"
 #include "walkthrough/render_model.h"
 #include "walkthrough/walkthrough_system.h"
@@ -43,6 +44,16 @@ struct VisualOptions {
   uint32_t build_threads = 1;
 };
 
+// How CreateFromSnapshot materializes the snapshot's device sections.
+enum class SnapshotLoadMode {
+  // Copy every device image into memory devices (default): queries run
+  // exactly as after Create, with no further file access.
+  kMemoryResident = 0,
+  // Serve pages straight from the snapshot file via FilePageDevice:
+  // smaller resident footprint, same simulated billing.
+  kFileBacked = 1,
+};
+
 class VisualSystem : public WalkthroughSystem {
  public:
   // `scene`, `grid` and `table` must outlive the system.
@@ -50,10 +61,20 @@ class VisualSystem : public WalkthroughSystem {
       const Scene* scene, const CellGrid* grid, const VisibilityTable* table,
       const VisualOptions& options);
 
+  // Reattaches a world previously written by a snapshot build (see
+  // tools/hdov_build and docs/storage.md) instead of rebuilding it.
+  // `scene` and `grid` must be the snapshot's own world (normally decoded
+  // from its "scene"/"cellgrid" sections) and must outlive the system. The
+  // loaded system answers queries with results and simulated I/O counters
+  // identical to a Create() over the same inputs.
+  static Result<std::unique_ptr<VisualSystem>> CreateFromSnapshot(
+      const SnapshotLoader& snapshot, const Scene* scene, const CellGrid* grid,
+      const VisualOptions& options,
+      SnapshotLoadMode mode = SnapshotLoadMode::kMemoryResident);
+
   std::string name() const override { return "VISUAL"; }
   Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result) override;
   void ResetRuntime() override;
-  void set_delta_enabled(bool enabled) override { delta_enabled_ = enabled; }
   const std::vector<RetrievedLod>& last_result() const override {
     return last_result_;
   }
@@ -66,11 +87,11 @@ class VisualSystem : public WalkthroughSystem {
 
   const HdovTree& tree() const { return tree_; }
   VisibilityStore* store() const { return store_.get(); }
-  const ModelStore& models() const { return models_; }
+  const ModelStore& models() const { return *models_; }
   SimClock& clock() { return clock_; }
-  PageDevice& tree_device() { return tree_device_; }
-  PageDevice& store_device() { return store_device_; }
-  PageDevice& model_device() { return model_device_; }
+  PageDevice& tree_device() { return *tree_device_; }
+  PageDevice& store_device() { return *store_device_; }
+  PageDevice& model_device() { return *model_device_; }
 
   // Runs a single visibility query (search only; optionally fetching the
   // models). Exposed for the query benchmarks (Figs. 7-9).
@@ -87,6 +108,9 @@ class VisualSystem : public WalkthroughSystem {
   VisualSystem(const Scene* scene, const CellGrid* grid,
                const VisualOptions& options);
 
+  // Searcher + cache wiring and counter reset shared by both factories.
+  void FinishConstruction();
+
   void RegisterTelemetry() override;
   // Folds one query's stats into the registry counters (telemetry only).
   void CountQuery(const SearchStats& stats);
@@ -96,10 +120,12 @@ class VisualSystem : public WalkthroughSystem {
   VisualOptions options_;
 
   SimClock clock_;
-  PageDevice tree_device_;
-  PageDevice store_device_;
-  PageDevice model_device_;
-  ModelStore models_;
+  // Owned behind pointers so CreateFromSnapshot can swap in file-backed
+  // devices; the in-memory defaults are constructed up front.
+  std::unique_ptr<PageDevice> tree_device_;
+  std::unique_ptr<PageDevice> store_device_;
+  std::unique_ptr<PageDevice> model_device_;
+  std::unique_ptr<ModelStore> models_;
   HdovTree tree_;
   std::unique_ptr<VisibilityStore> store_;
   std::unique_ptr<HdovSearcher> searcher_;
@@ -144,7 +170,6 @@ class VisualSystem : public WalkthroughSystem {
   Status RunPrefetch(const Viewpoint& viewpoint, CellId current_cell,
                      size_t* fetched);
 
-  bool delta_enabled_ = true;
   std::unordered_map<uint64_t, ResidentEntry> resident_;
   std::vector<RetrievedLod> last_result_;
   PrefetchState prefetch_;

@@ -54,7 +54,8 @@ class WalkthroughSystem {
   // Enables/disables the system's delta ("complement") search. Disabled
   // means every frame re-fetches its full result set — the mode used for
   // the independent-query experiments (Figs. 7-9).
-  virtual void set_delta_enabled(bool enabled) = 0;
+  virtual void set_delta_enabled(bool enabled) { delta_enabled_ = enabled; }
+  bool delta_enabled() const { return delta_enabled_; }
 
   // The representation set retrieved by the last RenderFrame (object or
   // internal LoDs); input to the fidelity metric.
@@ -95,6 +96,9 @@ class WalkthroughSystem {
   bool TelemetryOn() const {
     return telemetry_ != nullptr && telemetry_->enabled();
   }
+
+  // Shared delta-search toggle; every system's fetch path consults it.
+  bool delta_enabled_ = true;
 
   // Called once per AttachTelemetry; subclasses register their devices,
   // counters and histograms under telemetry_prefix().

@@ -371,6 +371,68 @@ TEST(ModelStoreTest, RegisterAndFetchBilling) {
   EXPECT_TRUE(store.Fetch(999).code() == StatusCode::kOutOfRange);
 }
 
+TEST(PageDeviceTest, UnmaterializedExtentLastPageReadsAsZeros) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "materialized").ok());
+  PageId first = device.AllocateUnmaterialized(3);
+  const PageId last = first + 2;
+  ASSERT_EQ(last, device.page_count() - 1);
+
+  std::string data;
+  ASSERT_TRUE(device.Read(last, &data).ok());
+  EXPECT_EQ(data, std::string(device.page_size(), '\0'));
+
+  // A run that ends exactly at the device boundary is legal; one page
+  // further is not.
+  std::vector<std::string> run;
+  ASSERT_TRUE(device.ReadRun(first, 3, &run).ok());
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(run.back(), std::string(device.page_size(), '\0'));
+  EXPECT_TRUE(device.ReadRun(first, 4, &run).code() ==
+              StatusCode::kOutOfRange);
+}
+
+TEST(PageDeviceTest, ReadRunNullOutBillsLikeMaterializedRead) {
+  PageDevice device;
+  PageId first = device.AllocateUnmaterialized(4);
+  ASSERT_TRUE(device.Write(first + 1, "content").ok());
+  device.ResetStats();
+  const double t0 = device.clock().NowMillis();
+  ASSERT_TRUE(device.ReadRun(first, 4, nullptr).ok());
+  const IoStats null_out = device.stats();
+  const double null_ms = device.clock().NowMillis() - t0;
+
+  device.ResetStats();
+  device.ResetAccessTracker();
+  const double t1 = device.clock().NowMillis();
+  std::vector<std::string> run;
+  ASSERT_TRUE(device.ReadRun(first, 4, &run).ok());
+  EXPECT_EQ(null_out.page_reads, device.stats().page_reads);
+  EXPECT_EQ(null_out.seeks, device.stats().seeks);
+  EXPECT_EQ(null_out.bytes_read, device.stats().bytes_read);
+  EXPECT_DOUBLE_EQ(null_ms, device.clock().NowMillis() - t1);
+}
+
+TEST(PageDeviceTest, OutOfRangeAccessesLeaveCountersUntouched) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  device.ResetStats();
+  std::string data;
+  EXPECT_TRUE(device.Read(p + 1, &data).code() == StatusCode::kOutOfRange);
+  EXPECT_TRUE(device.ReadRun(p, 2, nullptr).code() ==
+              StatusCode::kOutOfRange);
+  EXPECT_TRUE(device.ReadRun(p + 5, 1, nullptr).code() ==
+              StatusCode::kOutOfRange);
+  EXPECT_TRUE(device.ReadRaw(p + 1, &data).code() ==
+              StatusCode::kOutOfRange);
+  EXPECT_EQ(device.stats().page_reads, 0u);
+  EXPECT_EQ(device.stats().seeks, 0u);
+  EXPECT_DOUBLE_EQ(device.clock().NowMillis(), 0.0);
+  // A zero-length run is a no-op, not an error, wherever it starts.
+  EXPECT_TRUE(device.ReadRun(p + 5, 0, nullptr).ok());
+}
+
 TEST(IoStatsTest, DeltaAndAccumulate) {
   IoStats a;
   a.page_reads = 10;

@@ -32,6 +32,22 @@ BENCHES=(
   bench_ablations
 )
 
+# Verify every binary exists before writing anything: a partial refresh
+# (some baselines from this build, some stale) would slip through CI's
+# drift gate looking like an intentional shift.
+missing=0
+for bench in "${BENCHES[@]}"; do
+  if [[ ! -x "${BUILD_DIR}/bench/${bench}" ]]; then
+    echo "error: ${BUILD_DIR}/bench/${bench} is missing or not executable" >&2
+    missing=1
+  fi
+done
+if (( missing )); then
+  echo "error: refusing to write a partial baseline set; build everything" >&2
+  echo "  cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
 mkdir -p bench/baselines
 for bench in "${BENCHES[@]}"; do
   out="bench/baselines/BENCH_${bench#bench_}.json"
