@@ -21,6 +21,7 @@
 #include "simplify/simplifier.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_device.h"
+#include "telemetry/flight_recorder.h"
 #include "visibility/cubemap_buffer.h"
 #include "visibility/precompute.h"
 
@@ -131,6 +132,29 @@ void BM_PageDeviceSequentialVsRandom(benchmark::State& state) {
       static_cast<double>(device.stats().page_reads);
 }
 BENCHMARK(BM_PageDeviceSequentialVsRandom)->Arg(1)->Arg(0);
+
+// Cost of one flight-recorder event, enabled vs disabled. The recorder is
+// always on in production paths, so the enabled per-event cost IS the
+// observability tax; the disabled arm measures the short-circuit branch.
+void BM_FlightRecorderOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) == 1;
+  telemetry::FlightRecorder recorder(1 << 16);
+  recorder.set_enabled(enabled);
+  const uint16_t code = telemetry::FlightInternName("bench");
+  uint64_t n = 0;
+  for (auto _ : state) {
+    recorder.Record(telemetry::FlightEventType::kPageRead, code, n, 1);
+    ++n;
+    if (enabled && (n & 0xffff) == 0) {
+      // Periodically consume so steady state measures ring writes, not an
+      // ever-lapped ring (drop accounting is branch-identical either way).
+      benchmark::DoNotOptimize(recorder.Drain(/*consume=*/true).events.size());
+    }
+  }
+  state.SetLabel(enabled ? "enabled" : "disabled");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderOverhead)->Arg(1)->Arg(0);
 
 void BM_BufferPoolGet(benchmark::State& state) {
   PageDevice device;

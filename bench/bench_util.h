@@ -11,6 +11,14 @@
 //   --telemetry-out=<path>  write the full telemetry snapshot;
 //   --trace-out=<path>      enable span recording and write a Chrome
 //                           trace-event file (chrome://tracing);
+//   --trace-sample=N        with --trace-out, give only 1-in-N queries a
+//                           full span tree (default 1 = every query);
+//   --flight-out=<path>     drain the always-on flight recorder into a
+//                           binary dump (see docs/telemetry.md);
+//   --metrics-every=N       export a Prometheus-text metrics sample every
+//                           N recorded frames (plus one final sample);
+//   --metrics-out=<path>    destination of the --metrics-every log
+//                           (default metrics.prom);
 //   --threads=N             precompute/build workers (0 = hardware);
 //   --db=<path>             load the testbed and every VISUAL system from
 //                           a tools/hdov_build snapshot instead of
@@ -38,6 +46,8 @@
 #include "scene/city_generator.h"
 #include "scene/session.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/exposition.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "visibility/precompute.h"
 #include "walkthrough/experiment_testbed.h"
@@ -61,8 +71,12 @@ struct BenchArgs {
   std::string telemetry_out;  // Empty = full snapshot not written.
   std::string json_out;       // Empty = bench report not written.
   std::string trace_out;      // Empty = span recording stays off.
+  std::string flight_out;     // Empty = flight recorder not dumped.
+  std::string metrics_out = "metrics.prom";  // --metrics-every target.
   std::string db_path;        // Empty = build the world from scratch.
   uint32_t threads = 1;       // Precompute/build workers (0 = hardware).
+  uint32_t metrics_every = 0; // 0 = periodic exposition export off.
+  uint32_t trace_sample = 1;  // Span tree for 1-in-N queries.
 };
 
 // The parsed --threads value, readable from DefaultTestbedOptions and
@@ -90,6 +104,10 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kTelemetryOut[] = "--telemetry-out=";
   constexpr const char kJsonOut[] = "--json-out=";
   constexpr const char kTraceOut[] = "--trace-out=";
+  constexpr const char kTraceSample[] = "--trace-sample=";
+  constexpr const char kFlightOut[] = "--flight-out=";
+  constexpr const char kMetricsEvery[] = "--metrics-every=";
+  constexpr const char kMetricsOut[] = "--metrics-out=";
   constexpr const char kDb[] = "--db=";
   constexpr const char kThreads[] = "--threads=";
   const auto path_flag = [](const char* arg, const char* flag, size_t len,
@@ -104,14 +122,39 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     }
     return true;
   };
+  const auto count_flag = [](const char* arg, const char* flag, size_t len,
+                             uint32_t* out) {
+    if (std::strncmp(arg, flag, len) != 0) {
+      return false;
+    }
+    char* end = nullptr;
+    const char* value = arg + len;
+    const unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0') {
+      std::fprintf(stderr, "%s needs a number\n", flag);
+      std::exit(2);
+    }
+    *out = static_cast<uint32_t>(parsed);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (path_flag(argv[i], kTelemetryOut, sizeof(kTelemetryOut) - 1,
                   &args.telemetry_out) ||
         path_flag(argv[i], kJsonOut, sizeof(kJsonOut) - 1, &args.json_out) ||
         path_flag(argv[i], kTraceOut, sizeof(kTraceOut) - 1,
                   &args.trace_out) ||
+        path_flag(argv[i], kFlightOut, sizeof(kFlightOut) - 1,
+                  &args.flight_out) ||
+        path_flag(argv[i], kMetricsOut, sizeof(kMetricsOut) - 1,
+                  &args.metrics_out) ||
         path_flag(argv[i], kDb, sizeof(kDb) - 1, &args.db_path)) {
       BenchDbPath() = args.db_path;
+      continue;
+    }
+    if (count_flag(argv[i], kTraceSample, sizeof(kTraceSample) - 1,
+                   &args.trace_sample) ||
+        count_flag(argv[i], kMetricsEvery, sizeof(kMetricsEvery) - 1,
+                   &args.metrics_every)) {
       continue;
     }
     if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
@@ -127,9 +170,10 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: %s<path>, %s<path>,"
-                   " %s<path>, %s<path>, %sN)\n",
-                   argv[i], kTelemetryOut, kJsonOut, kTraceOut, kDb,
-                   kThreads);
+                   " %s<path>, %sN, %s<path>, %sN, %s<path>, %s<path>,"
+                   " %sN)\n",
+                   argv[i], kTelemetryOut, kJsonOut, kTraceOut, kTraceSample,
+                   kFlightOut, kMetricsEvery, kMetricsOut, kDb, kThreads);
       std::exit(2);
     }
   }
@@ -151,12 +195,33 @@ class TelemetryScope {
   TelemetryScope(const BenchArgs& args, const char* binary)
       : telemetry_out_(args.telemetry_out),
         json_out_(args.json_out),
-        trace_out_(args.trace_out) {
+        trace_out_(args.trace_out),
+        flight_out_(args.flight_out),
+        metrics_every_(args.metrics_every) {
     if (!telemetry_out_.empty() || !json_out_.empty() ||
-        !trace_out_.empty()) {
+        !trace_out_.empty() || metrics_every_ > 0) {
       telemetry_ = std::make_unique<telemetry::Telemetry>();
       if (!trace_out_.empty()) {
         telemetry_->tracer().set_enabled(true);
+        telemetry_->tracer().set_sample_every(args.trace_sample);
+      }
+      if (metrics_every_ > 0) {
+        metrics_log_ =
+            std::make_unique<telemetry::ExpositionLog>(args.metrics_out);
+        // Sampling happens inside RecordFrame, so an exposition block
+        // lands every N frames regardless of which system emits them.
+        telemetry_->set_frame_callback(
+            [this](const telemetry::FrameRecord&) {
+              if (++frames_seen_ % metrics_every_ == 0) {
+                if (Status s = metrics_log_->Sample(
+                        telemetry_->metrics().Snapshot(),
+                        "frame " + std::to_string(frames_seen_));
+                    !s.ok()) {
+                  std::fprintf(stderr, "metrics: %s\n",
+                               s.ToString().c_str());
+                }
+              }
+            });
       }
     }
     report_.set_binary(binary);
@@ -231,6 +296,37 @@ class TelemetryScope {
                     trace_out_.c_str(), telemetry_->tracer().num_spans());
       }
     }
+    if (metrics_log_ != nullptr && telemetry_ != nullptr) {
+      // Final sample so short runs (and the tail of long ones) always
+      // land in the log, even when frames % N != 0.
+      if (Status s = metrics_log_->Sample(telemetry_->metrics().Snapshot(),
+                                          "final");
+          !s.ok()) {
+        std::fprintf(stderr, "metrics: %s\n", s.ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("\nmetrics: wrote %s (%llu samples)\n",
+                    metrics_log_->path().c_str(),
+                    static_cast<unsigned long long>(
+                        metrics_log_->samples_written()));
+      }
+    }
+    if (!flight_out_.empty()) {
+      telemetry::FlightRecorder& recorder =
+          telemetry::GlobalFlightRecorder();
+      if (Status s = recorder.WriteDump(flight_out_); !s.ok()) {
+        std::fprintf(stderr, "flight: %s\n", s.ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("\nflight: wrote %s (%llu events recorded, %llu"
+                    " dropped)\n",
+                    flight_out_.c_str(),
+                    static_cast<unsigned long long>(
+                        recorder.events_recorded()),
+                    static_cast<unsigned long long>(
+                        recorder.events_dropped()));
+      }
+    }
     return ok;
   }
 
@@ -238,6 +334,10 @@ class TelemetryScope {
   std::string telemetry_out_;
   std::string json_out_;
   std::string trace_out_;
+  std::string flight_out_;
+  uint32_t metrics_every_ = 0;
+  uint64_t frames_seen_ = 0;
+  std::unique_ptr<telemetry::ExpositionLog> metrics_log_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
   telemetry::BenchReport report_;
   bool written_ = false;

@@ -6,6 +6,8 @@ Result<BufferPool::PageRef> BufferPool::Get(PageId page) {
   auto it = entries_.find(page);
   if (it != entries_.end()) {
     ++stats_.hits;
+    telemetry::GlobalFlightRecorder().Record(
+        telemetry::FlightEventType::kPoolHit, flight_code_, page, 0);
     lru_.erase(it->second->lru_it);
     lru_.push_front(page);
     it->second->lru_it = lru_.begin();
@@ -14,6 +16,8 @@ Result<BufferPool::PageRef> BufferPool::Get(PageId page) {
   }
 
   ++stats_.misses;
+  telemetry::GlobalFlightRecorder().Record(
+      telemetry::FlightEventType::kPoolMiss, flight_code_, page, 0);
   auto entry = std::make_unique<Entry>();
   HDOV_RETURN_IF_ERROR(device_->Read(page, &entry->data));
 
@@ -53,6 +57,7 @@ void BufferPool::Unpin(Entry* entry) {
 
 void BufferPool::RegisterWith(telemetry::MetricsRegistry* registry,
                               const std::string& prefix) const {
+  flight_code_ = telemetry::FlightInternName(prefix);
   const BufferPoolStats* stats = &stats_;
   registry->RegisterView(prefix + ".hits", [stats] {
     return static_cast<double>(stats->hits);

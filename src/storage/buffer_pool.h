@@ -95,7 +95,9 @@ class BufferPool {
   };
 
   BufferPool(PageDevice* device, size_t capacity_pages)
-      : device_(device), capacity_(capacity_pages) {}
+      : device_(device),
+        capacity_(capacity_pages),
+        flight_code_(telemetry::FlightInternName("pool")) {}
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -137,6 +139,10 @@ class BufferPool {
 
   PageDevice* device_;
   size_t capacity_;
+  // Flight-recorder code of hit/miss events; "pool" until RegisterWith
+  // names it after the registration prefix (mutable: RegisterWith is
+  // const, it only wires read-through views).
+  mutable uint16_t flight_code_;
   BufferPoolStats stats_;
   std::list<PageId> lru_;  // Front = most recently used.
   std::unordered_map<PageId, std::unique_ptr<Entry>> entries_;

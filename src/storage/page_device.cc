@@ -11,7 +11,9 @@ constexpr uint32_t kDeviceMagic = 0x76644856;  // Bytes "VHdv" on disk.
 }  // namespace
 
 PageDevice::PageDevice(const DiskModel& model, SimClock* clock)
-    : model_(model), clock_(clock != nullptr ? clock : &own_clock_) {}
+    : model_(model),
+      clock_(clock != nullptr ? clock : &own_clock_),
+      flight_code_(telemetry::FlightInternName("device")) {}
 
 PageDevice::~PageDevice() = default;
 
@@ -190,6 +192,9 @@ Status PageDevice::LoadFromFile(const std::string& path) {
 
 void PageDevice::RegisterWith(telemetry::MetricsRegistry* registry,
                               const std::string& prefix) const {
+  // Flight events now attribute to the registered name (e.g.
+  // "visual.io.tree") instead of the generic "device".
+  flight_code_ = telemetry::FlightInternName(prefix);
   const IoStats* stats = &stats_;
   const auto view = [&](const char* name, uint64_t IoStats::*field) {
     registry->RegisterView(prefix + name, [stats, field] {
@@ -210,6 +215,10 @@ void PageDevice::BillRead(PageId first, uint64_t pages) {
   stats_.seeks += seeks;
   clock_->AdvanceMillis(model_.ReadCostMillis(pages, seeks));
   next_sequential_ = first + pages;
+  // Flight-recorder hook: observes the billed access, never bills itself
+  // (the simulated counters above are identical with the recorder off).
+  telemetry::GlobalFlightRecorder().Record(
+      telemetry::FlightEventType::kPageRead, flight_code_, first, pages);
 }
 
 void PageDevice::BillWrite(PageId page) {
@@ -219,6 +228,8 @@ void PageDevice::BillWrite(PageId page) {
   stats_.seeks += seeks;
   clock_->AdvanceMillis(model_.ReadCostMillis(1, seeks));
   next_sequential_ = page + 1;
+  telemetry::GlobalFlightRecorder().Record(
+      telemetry::FlightEventType::kPageWrite, flight_code_, page, 1);
 }
 
 }  // namespace hdov

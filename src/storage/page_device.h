@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "storage/disk_model.h"
 #include "storage/io_stats.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace hdov {
@@ -123,6 +124,10 @@ class PageDevice {
  private:
   SimClock own_clock_;
   SimClock* clock_;
+  // Flight-recorder code of this device's events; "device" until
+  // RegisterWith names it after the registration prefix. Mutable because
+  // RegisterWith is const (it only wires read-through views).
+  mutable uint16_t flight_code_;
   // Materialized page contents; empty string = unmaterialized (zeros).
   std::vector<std::string> pages_;
   PageId next_sequential_ = kInvalidPage;  // Page after the last access.

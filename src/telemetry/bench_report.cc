@@ -22,6 +22,14 @@ TimingStats TimingStats::From(std::vector<double> samples) {
     sum += s;
   }
   stats.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() < 2) {
+    // One repeat: every order statistic IS the sample; the interpolation
+    // below would degenerate (pos = 0 for all q) but make that explicit
+    // rather than incidental.
+    stats.median = samples.front();
+    stats.p95 = samples.front();
+    return stats;
+  }
   const auto percentile = [&samples](double q) {
     const double pos = q * static_cast<double>(samples.size() - 1);
     const size_t lo = static_cast<size_t>(pos);

@@ -41,6 +41,12 @@ class Telemetry;
 // steady_clock blocks the benches used to carry.
 class WallTimer {
  public:
+  // Every wall-clock number in a report assumes a monotonic source; a
+  // system clock would go backwards under NTP steps and produce negative
+  // intervals.
+  static_assert(std::chrono::steady_clock::is_steady,
+                "WallTimer requires a monotonic clock source");
+
   WallTimer() : start_(std::chrono::steady_clock::now()) {}
   void Restart() { start_ = std::chrono::steady_clock::now(); }
   double ElapsedMs() const {

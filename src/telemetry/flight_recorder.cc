@@ -1,0 +1,436 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <fstream>
+
+#include "common/coding.h"
+#include "telemetry/json.h"
+
+namespace hdov::telemetry {
+
+std::string_view FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kNone:
+      return "none";
+    case FlightEventType::kSpanBegin:
+      return "span_begin";
+    case FlightEventType::kSpanEnd:
+      return "span_end";
+    case FlightEventType::kPageRead:
+      return "page_read";
+    case FlightEventType::kPageWrite:
+      return "page_write";
+    case FlightEventType::kPoolHit:
+      return "pool_hit";
+    case FlightEventType::kPoolMiss:
+      return "pool_miss";
+    case FlightEventType::kFrameBegin:
+      return "frame_begin";
+    case FlightEventType::kFrameEnd:
+      return "frame_end";
+  }
+  return "unknown";
+}
+
+uint64_t FlightNowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+namespace {
+
+// Strings are written before the release store of `count`, so lock-free
+// readers only ever see fully constructed entries.
+struct NameTable {
+  std::mutex mu;                 // Insertions only.
+  std::array<std::string, kMaxFlightNames> names;
+  std::atomic<size_t> count{1};  // names[0] is the reserved "?".
+  NameTable() { names[0] = "?"; }
+};
+
+NameTable& GlobalNames() {
+  // Leaked: hooks in static destructors may still intern at exit.
+  static NameTable* table = new NameTable();
+  return *table;
+}
+
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+uint16_t FlightInternName(std::string_view name) {
+  NameTable& table = GlobalNames();
+  const size_t published = table.count.load(std::memory_order_acquire);
+  for (size_t i = 0; i < published; ++i) {
+    if (table.names[i] == name) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  std::lock_guard<std::mutex> lock(table.mu);
+  const size_t count = table.count.load(std::memory_order_relaxed);
+  for (size_t i = published; i < count; ++i) {
+    if (table.names[i] == name) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  if (count >= kMaxFlightNames) {
+    return 0;  // Table full: degrade to the "?" code, never fail.
+  }
+  table.names[count].assign(name);
+  table.count.store(count + 1, std::memory_order_release);
+  return static_cast<uint16_t>(count);
+}
+
+std::string_view FlightNameForId(uint16_t id) {
+  NameTable& table = GlobalNames();
+  if (id >= table.count.load(std::memory_order_acquire)) {
+    return "?";
+  }
+  return table.names[id];
+}
+
+size_t FlightNameCount() {
+  return GlobalNames().count.load(std::memory_order_acquire);
+}
+
+namespace {
+
+std::atomic<uint64_t> g_recorder_serial{1};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t events_per_thread)
+    : capacity_(static_cast<size_t>(
+          RoundUpPow2(std::max<uint64_t>(2, events_per_thread)))),
+      serial_(g_recorder_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder::Buffer* FlightRecorder::LocalBuffer() {
+  // Keyed by the recorder's process-unique serial, never by address, so a
+  // recorder reusing a destroyed one's storage cannot match stale entries.
+  struct CacheEntry {
+    uint64_t serial;
+    Buffer* buffer;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.serial == serial_) {
+      return entry.buffer;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<Buffer>(
+      capacity_, static_cast<uint32_t>(buffers_.size())));
+  Buffer* buffer = buffers_.back().get();
+  cache.push_back(CacheEntry{serial_, buffer});
+  return buffer;
+}
+
+void FlightRecorder::Record(FlightEventType type, uint16_t code, uint64_t a,
+                            uint64_t b) {
+  if (!enabled()) {
+    return;
+  }
+  Buffer* buf = LocalBuffer();
+  const uint64_t idx = buf->head.load(std::memory_order_relaxed);
+  Slot& slot = buf->ring[idx & (capacity_ - 1)];
+  slot.w[0].store(FlightNowNs(), std::memory_order_relaxed);
+  slot.w[1].store(static_cast<uint64_t>(type) |
+                      (static_cast<uint64_t>(code) << 16) |
+                      (static_cast<uint64_t>(buf->id) << 32),
+                  std::memory_order_relaxed);
+  slot.w[2].store(a, std::memory_order_relaxed);
+  slot.w[3].store(b, std::memory_order_relaxed);
+  // Publishes the slot: Drain acquires `head` before touching the ring.
+  buf->head.store(idx + 1, std::memory_order_release);
+}
+
+size_t FlightRecorder::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+uint64_t FlightRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    total += buf->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t FlightRecorder::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    const uint64_t ring_begin = head > capacity_ ? head - capacity_ : 0;
+    const uint64_t consumed = buf->consumed.load(std::memory_order_relaxed);
+    total += buf->lost.load(std::memory_order_relaxed);
+    if (ring_begin > consumed) {
+      total += ring_begin - consumed;
+    }
+  }
+  return total;
+}
+
+FlightDump FlightRecorder::Drain(bool consume) {
+  FlightDump dump;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    const uint64_t head = buf->head.load(std::memory_order_acquire);
+    const uint64_t ring_begin = head > capacity_ ? head - capacity_ : 0;
+    uint64_t consumed = buf->consumed.load(std::memory_order_relaxed);
+    if (ring_begin > consumed) {
+      // Events in [consumed, ring_begin) were overwritten before anyone
+      // drained them: account them lost exactly once.
+      buf->lost.fetch_add(ring_begin - consumed, std::memory_order_relaxed);
+      buf->consumed.store(ring_begin, std::memory_order_relaxed);
+      consumed = ring_begin;
+    }
+    struct Pending {
+      uint64_t idx;
+      FlightEvent event;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(static_cast<size_t>(head - consumed));
+    for (uint64_t idx = consumed; idx < head; ++idx) {
+      const Slot& slot = buf->ring[idx & (capacity_ - 1)];
+      FlightEvent ev;
+      ev.ts_ns = slot.w[0].load(std::memory_order_relaxed);
+      const uint64_t meta = slot.w[1].load(std::memory_order_relaxed);
+      ev.type = static_cast<uint16_t>(meta & 0xffff);
+      ev.code = static_cast<uint16_t>((meta >> 16) & 0xffff);
+      ev.thread = static_cast<uint32_t>(meta >> 32);
+      ev.a = slot.w[2].load(std::memory_order_relaxed);
+      ev.b = slot.w[3].load(std::memory_order_relaxed);
+      pending.push_back(Pending{idx, ev});
+    }
+    // A writer may have lapped part of the copied range mid-copy; re-read
+    // the head and discard every index it could have overwritten (plus the
+    // slot the writer may currently be filling, hence the +1).
+    const uint64_t head_after = buf->head.load(std::memory_order_acquire);
+    const uint64_t valid_from =
+        head_after > capacity_ ? head_after - capacity_ + 1 : 0;
+    for (const Pending& p : pending) {
+      if (p.idx >= valid_from) {
+        dump.events.push_back(p.event);
+      }
+    }
+    if (consume) {
+      buf->consumed.store(head, std::memory_order_relaxed);
+    }
+    dump.dropped += buf->lost.load(std::memory_order_relaxed);
+  }
+  std::stable_sort(dump.events.begin(), dump.events.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.ts_ns != y.ts_ns ? x.ts_ns < y.ts_ns
+                                               : x.thread < y.thread;
+                   });
+  // Snapshot the global name table so the dump is self-describing.
+  const size_t names = FlightNameCount();
+  dump.names.reserve(names);
+  for (size_t i = 0; i < names; ++i) {
+    dump.names.emplace_back(FlightNameForId(static_cast<uint16_t>(i)));
+  }
+  return dump;
+}
+
+// ---------------------------------------------------------------------
+// Dump container: "HDOVFREC" magic, version, name table, packed events.
+
+namespace {
+constexpr char kFlightMagic[8] = {'H', 'D', 'O', 'V', 'F', 'R', 'E', 'C'};
+constexpr uint32_t kFlightVersion = 1;
+}  // namespace
+
+std::string EncodeFlightDump(const FlightDump& dump) {
+  std::string out;
+  out.append(kFlightMagic, sizeof(kFlightMagic));
+  EncodeFixed32(&out, kFlightVersion);
+  EncodeFixed32(&out, static_cast<uint32_t>(dump.names.size()));
+  EncodeFixed64(&out, dump.events.size());
+  EncodeFixed64(&out, dump.dropped);
+  for (const std::string& name : dump.names) {
+    EncodeFixed32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+  for (const FlightEvent& ev : dump.events) {
+    EncodeFixed64(&out, ev.ts_ns);
+    EncodeFixed64(&out, static_cast<uint64_t>(ev.type) |
+                            (static_cast<uint64_t>(ev.code) << 16) |
+                            (static_cast<uint64_t>(ev.thread) << 32));
+    EncodeFixed64(&out, ev.a);
+    EncodeFixed64(&out, ev.b);
+  }
+  return out;
+}
+
+Result<FlightDump> DecodeFlightDump(std::string_view data) {
+  if (data.size() < sizeof(kFlightMagic) ||
+      data.compare(0, sizeof(kFlightMagic),
+                   std::string_view(kFlightMagic, sizeof(kFlightMagic))) !=
+          0) {
+    return Status::Corruption("flight dump: bad magic");
+  }
+  const std::string_view body = data.substr(sizeof(kFlightMagic));
+  Decoder dec(body);
+  uint32_t version = 0;
+  uint32_t name_count = 0;
+  uint64_t event_count = 0;
+  FlightDump dump;
+  HDOV_RETURN_IF_ERROR(dec.DecodeFixed32(&version));
+  if (version != kFlightVersion) {
+    return Status::Corruption("flight dump: unsupported version " +
+                              std::to_string(version));
+  }
+  HDOV_RETURN_IF_ERROR(dec.DecodeFixed32(&name_count));
+  HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&event_count));
+  HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&dump.dropped));
+  if (name_count > kMaxFlightNames) {
+    return Status::Corruption("flight dump: name table too large");
+  }
+  if (event_count > dec.remaining() / 32) {
+    return Status::Corruption("flight dump: truncated event section");
+  }
+  dump.names.reserve(name_count);
+  for (uint32_t i = 0; i < name_count; ++i) {
+    uint32_t len = 0;
+    HDOV_RETURN_IF_ERROR(dec.DecodeFixed32(&len));
+    if (len > dec.remaining()) {
+      return Status::Corruption("flight dump: truncated name");
+    }
+    dump.names.emplace_back(body.substr(dec.position(), len));
+    HDOV_RETURN_IF_ERROR(dec.Skip(len));
+  }
+  dump.events.reserve(static_cast<size_t>(event_count));
+  for (uint64_t i = 0; i < event_count; ++i) {
+    FlightEvent ev;
+    uint64_t meta = 0;
+    HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&ev.ts_ns));
+    HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&meta));
+    HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&ev.a));
+    HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&ev.b));
+    ev.type = static_cast<uint16_t>(meta & 0xffff);
+    ev.code = static_cast<uint16_t>((meta >> 16) & 0xffff);
+    ev.thread = static_cast<uint32_t>(meta >> 32);
+    dump.events.push_back(ev);
+  }
+  if (dec.remaining() != 0) {
+    return Status::Corruption("flight dump: trailing bytes");
+  }
+  return dump;
+}
+
+Status FlightRecorder::WriteDump(const std::string& path, bool consume) {
+  const std::string encoded = EncodeFlightDump(Drain(consume));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("flight dump: cannot open " + path);
+  }
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!out) {
+    return Status::IoError("flight dump: write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<FlightDump> FlightRecorder::ReadDump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("flight dump: cannot open " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("flight dump: read from " + path + " failed");
+  }
+  return DecodeFlightDump(data);
+}
+
+std::string FlightChromeTraceJson(const FlightDump& dump) {
+  constexpr int kFlightPid = 3;  // Pids 1/2 belong to Telemetry's export.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  w.BeginObject();
+  w.Key("name").String("process_name");
+  w.Key("ph").String("M");
+  w.Key("pid").Number(static_cast<uint64_t>(kFlightPid));
+  w.Key("args").BeginObject();
+  w.Key("name").String("flight recorder (wall time)");
+  w.EndObject();
+  w.EndObject();
+  for (const FlightEvent& ev : dump.events) {
+    const auto type = static_cast<FlightEventType>(ev.type);
+    const double ts_us = static_cast<double>(ev.ts_ns) / 1000.0;
+    const auto emit = [&](std::string_view cat, std::string_view ph) {
+      w.BeginObject();
+      w.Key("name").String(dump.NameOf(ev));
+      w.Key("cat").String(cat);
+      w.Key("ph").String(ph);
+      if (ph == "i") {
+        w.Key("s").String("t");
+      }
+      w.Key("pid").Number(static_cast<uint64_t>(kFlightPid));
+      w.Key("tid").Number(static_cast<uint64_t>(ev.thread));
+      w.Key("ts").Number(ts_us);
+      w.Key("args").BeginObject();
+      w.Key("type").String(FlightEventTypeName(type));
+      w.Key("a").Number(ev.a);
+      w.Key("b").Number(ev.b);
+      w.EndObject();
+      w.EndObject();
+    };
+    switch (type) {
+      case FlightEventType::kFrameBegin:
+        emit("frame", "B");
+        break;
+      case FlightEventType::kFrameEnd:
+        emit("frame", "E");
+        break;
+      case FlightEventType::kSpanBegin:
+        emit("span", "B");
+        break;
+      case FlightEventType::kSpanEnd:
+        emit("span", "E");
+        break;
+      case FlightEventType::kPageRead:
+      case FlightEventType::kPageWrite:
+        emit("io", "i");
+        break;
+      case FlightEventType::kPoolHit:
+      case FlightEventType::kPoolMiss:
+        emit("pool", "i");
+        break;
+      case FlightEventType::kNone:
+        break;
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+FlightRecorder& GlobalFlightRecorder() {
+  // Leaked for the same reason as the name table: instrumented objects in
+  // static storage may record during teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+}  // namespace hdov::telemetry

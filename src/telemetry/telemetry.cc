@@ -9,13 +9,19 @@ namespace hdov::telemetry {
 
 void Telemetry::RecordFrame(FrameRecord record) {
   ++frames_recorded_;
-  if (frames_.size() >= max_frames_) {
-    ++frames_dropped_;
-    return;
-  }
   record.index = frames_recorded_ - 1;
   record.context = context_;
+  if (frames_.size() >= max_frames_) {
+    ++frames_dropped_;
+    if (frame_callback_) {
+      frame_callback_(record);
+    }
+    return;
+  }
   frames_.push_back(std::move(record));
+  if (frame_callback_) {
+    frame_callback_(frames_.back());
+  }
 }
 
 namespace {

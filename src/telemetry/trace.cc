@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/flight_recorder.h"
 #include "telemetry/json.h"
 
 namespace hdov::telemetry {
@@ -28,6 +29,20 @@ void TraceRecorder::Clear() {
   spans_.clear();
   open_.clear();
   spans_dropped_ = 0;
+  queries_seen_ = 0;
+  queries_sampled_ = 0;
+}
+
+bool TraceRecorder::SampleQuery() {
+  if (!enabled_) {
+    return false;
+  }
+  const uint64_t n = queries_seen_++;
+  if (sample_every_ <= 1 || n % sample_every_ == 0) {
+    ++queries_sampled_;
+    return true;
+  }
+  return false;
 }
 
 void TraceRecorder::Merge(const TraceRecorder& other) {
@@ -67,12 +82,23 @@ int32_t TraceRecorder::BeginSpan(std::string_view name) {
   const int32_t id = static_cast<int32_t>(spans_.size());
   spans_.push_back(std::move(span));
   open_.push_back(id);
+  FlightRecorder& flight = GlobalFlightRecorder();
+  if (flight.enabled()) {
+    flight.Record(FlightEventType::kSpanBegin, FlightInternName(name),
+                  static_cast<uint64_t>(id), 0);
+  }
   return id;
 }
 
 void TraceRecorder::EndSpan(int32_t span) {
   if (span == kNoSpan) {
     return;
+  }
+  FlightRecorder& flight = GlobalFlightRecorder();
+  if (flight.enabled()) {
+    flight.Record(FlightEventType::kSpanEnd,
+                  FlightInternName(spans_[static_cast<size_t>(span)].name),
+                  static_cast<uint64_t>(span), 0);
   }
   // Close any children left open (defensive: RAII call sites make this a
   // no-op), then the span itself.

@@ -47,6 +47,18 @@ class TraceRecorder {
   void set_max_spans(size_t n) { max_spans_ = n; }
   uint64_t spans_dropped() const { return spans_dropped_; }
 
+  // Query sampling: with sample_every = N, SampleQuery() answers true for
+  // one query in N (the first of each stride), so a serving workload can
+  // keep span trees on at 1/N cost while every query still reaches the
+  // flight recorder. Query entry points (VisualSystem::Query) consult this
+  // before wiring the recorder into a search; 1 (the default) keeps the
+  // historical trace-everything behavior.
+  size_t sample_every() const { return sample_every_; }
+  void set_sample_every(size_t n) { sample_every_ = n == 0 ? 1 : n; }
+  bool SampleQuery();
+  uint64_t queries_seen() const { return queries_seen_; }
+  uint64_t queries_sampled() const { return queries_sampled_; }
+
   // Drops all recorded spans (the open-span stack included).
   void Clear();
 
@@ -89,6 +101,9 @@ class TraceRecorder {
   // comfort zone; raise it for short, deep traces.
   size_t max_spans_ = 1 << 20;
   uint64_t spans_dropped_ = 0;
+  size_t sample_every_ = 1;
+  uint64_t queries_seen_ = 0;
+  uint64_t queries_sampled_ = 0;
 };
 
 // RAII span: opens on construction (when a recorder is given), closes on

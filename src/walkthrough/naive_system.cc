@@ -111,6 +111,7 @@ Status NaiveSystem::Query(const Vec3& position, bool fetch_models,
 
 Status NaiveSystem::RenderFrame(const Viewpoint& viewpoint,
                                 FrameResult* result) {
+  telemetry::FlightFrameScope flight(FlightCode(), NextFlightFrame());
   const double t0 = clock_.NowMillis();
   const IoStats light0 = list_device_.stats();
   const IoStats model0 = model_device_.stats();
@@ -149,6 +150,7 @@ Status NaiveSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   result->frame_time_ms =
       result->query_time_ms + options_.render.FrameMillis(triangles);
+  flight.set_io_pages(result->io_pages);
   if (TelemetryOn()) {
     frame_time_hist_->Observe(result->frame_time_ms);
     EmitFrameRecord(*result,

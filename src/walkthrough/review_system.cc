@@ -75,6 +75,7 @@ Status ReviewSystem::Query(const Vec3& position,
 
 Status ReviewSystem::RenderFrame(const Viewpoint& viewpoint,
                                  FrameResult* result) {
+  telemetry::FlightFrameScope flight(FlightCode(), NextFlightFrame());
   const double t0 = clock_.NowMillis();
   const IoStats light0 = index_device_.stats();
   const IoStats model0 = model_device_.stats();
@@ -141,6 +142,7 @@ Status ReviewSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   result->frame_time_ms =
       result->query_time_ms + options_.render.FrameMillis(triangles);
+  flight.set_io_pages(result->io_pages);
   if (TelemetryOn()) {
     frame_time_hist_->Observe(result->frame_time_ms);
     EmitFrameRecord(*result, 0);  // REVIEW has no viewing-cell notion.

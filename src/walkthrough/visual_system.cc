@@ -156,7 +156,12 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
   const IoStats store0 = store_device_->stats();
   const IoStats model0 = model_device_->stats();
   if (telemetry_on) {
-    search.trace = &telemetry()->tracer();
+    // Trace sampling: only 1-in-N queries carry a full span tree; the
+    // flight recorder still sees every page/pool event regardless.
+    telemetry::TraceRecorder& tracer = telemetry()->tracer();
+    if (tracer.SampleQuery()) {
+      search.trace = &tracer;
+    }
   }
   HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), cell, search, result,
                                          stats_out));
@@ -204,6 +209,7 @@ Status VisualSystem::QueryWithHeuristic(const Vec3& position,
 
 Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
                                  FrameResult* result) {
+  telemetry::FlightFrameScope flight(FlightCode(), NextFlightFrame());
   const double t0 = clock_.NowMillis();
   const IoStats tree0 = tree_device_->stats();
   const IoStats store0 = store_device_->stats();
@@ -279,6 +285,7 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   result->frame_time_ms =
       result->query_time_ms + options_.render.FrameMillis(triangles);
+  flight.set_io_pages(result->io_pages);
   if (tree_cache_ != nullptr) {
     const uint64_t hits = tree_cache_->stats().hits - cache_hits0;
     const uint64_t misses = tree_cache_->stats().misses - cache_misses0;

@@ -13,6 +13,7 @@
 #include "hdov/search.h"
 #include "scene/session.h"
 #include "storage/io_stats.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace hdov {
@@ -97,6 +98,20 @@ class WalkthroughSystem {
     return telemetry_ != nullptr && telemetry_->enabled();
   }
 
+  // Flight-recorder identity of this system: its name(), interned once.
+  // Lazy because name() is virtual and unavailable in the base ctor.
+  uint16_t FlightCode() {
+    if (flight_code_ == 0) {
+      flight_code_ = telemetry::FlightInternName(name());
+    }
+    return flight_code_;
+  }
+
+  // Monotone frame index for kFrameBegin/kFrameEnd events — independent
+  // of telemetry attachment, so recorder timelines stay continuous even
+  // when no Telemetry is wired in.
+  uint64_t NextFlightFrame() { return flight_frame_++; }
+
   // Shared delta-search toggle; every system's fetch path consults it.
   bool delta_enabled_ = true;
 
@@ -136,6 +151,8 @@ class WalkthroughSystem {
  private:
   telemetry::Telemetry* telemetry_ = nullptr;
   std::string telemetry_prefix_;
+  uint16_t flight_code_ = 0;
+  uint64_t flight_frame_ = 0;
 };
 
 }  // namespace hdov

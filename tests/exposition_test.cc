@@ -1,0 +1,160 @@
+#include "telemetry/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace hdov {
+namespace {
+
+using telemetry::Counter;
+using telemetry::ExpositionLog;
+using telemetry::ExpositionText;
+using telemetry::FilterSnapshot;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricKind;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::SanitizeMetricName;
+using telemetry::SnapshotDelta;
+
+TEST(ExpositionTest, SanitizeMetricName) {
+  EXPECT_EQ(SanitizeMetricName("visual.io.tree.page_reads"),
+            "visual_io_tree_page_reads");
+  EXPECT_EQ(SanitizeMetricName("a:b_c9"), "a:b_c9");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_EQ(SanitizeMetricName("sp ace-dash"), "sp_ace_dash");
+}
+
+TEST(ExpositionTest, TextFormatCountersAndGauges) {
+  MetricsRegistry registry;
+  registry.GetCounter("visual.queries")->Add(42);
+  registry.GetGauge("visual.resident_mb")->Set(3.5);
+  registry.RegisterView("visual.hit_rate", [] { return 0.25; });
+
+  const std::string text = ExpositionText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE visual_queries counter\n"), std::string::npos);
+  EXPECT_NE(text.find("visual_queries 42\n"), std::string::npos);
+  // Gauges and views both expose as gauges.
+  EXPECT_NE(text.find("# TYPE visual_resident_mb gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("visual_resident_mb 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE visual_hit_rate gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("visual_hit_rate 0.25\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, TextFormatHistogramIsCumulative) {
+  MetricsRegistry registry;
+  telemetry::Histogram* h =
+      registry.GetHistogram("frame.time_ms", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(99.0);
+
+  const std::string text = ExpositionText(registry.Snapshot());
+  // Buckets are cumulative, close with le="+Inf", and _count matches.
+  EXPECT_NE(text.find("# TYPE frame_time_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("frame_time_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("frame_time_ms_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("frame_time_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("frame_time_ms_sum 101\n"), std::string::npos);
+  EXPECT_NE(text.find("frame_time_ms_count 3\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, FilterSnapshotKeepsPrefixOnly) {
+  MetricsRegistry registry;
+  registry.GetCounter("persist.bytes_written")->Add(100);
+  registry.GetCounter("persist.fsyncs")->Add(3);
+  registry.GetCounter("build.objects")->Add(7);
+
+  const MetricsSnapshot full = registry.Snapshot();
+  const MetricsSnapshot persist = FilterSnapshot(full, "persist");
+  ASSERT_EQ(persist.samples.size(), 2u);
+  EXPECT_EQ(persist.samples[0].name, "persist.bytes_written");
+  EXPECT_EQ(persist.samples[1].name, "persist.fsyncs");
+  // Filtering a captured snapshot never re-reads the registry.
+  EXPECT_EQ(full.samples.size(), 3u);
+}
+
+TEST(ExpositionTest, SnapshotDeltaRatesAndNewMetrics) {
+  MetricsRegistry registry;
+  Counter* reads = registry.GetCounter("io.page_reads");
+  reads->Add(10);
+  const MetricsSnapshot earlier = registry.Snapshot();
+
+  reads->Add(40);
+  registry.GetCounter("io.seeks")->Add(5);  // Registered mid-interval.
+  const MetricsSnapshot later = registry.Snapshot();
+
+  const SnapshotDelta delta = SnapshotDelta::Between(earlier, later, 2000.0);
+  EXPECT_DOUBLE_EQ(delta.interval_ms, 2000.0);
+  ASSERT_EQ(delta.metrics.size(), 2u);
+  EXPECT_EQ(delta.metrics[0].name, "io.page_reads");
+  EXPECT_DOUBLE_EQ(delta.metrics[0].previous, 10.0);
+  EXPECT_DOUBLE_EQ(delta.metrics[0].current, 50.0);
+  EXPECT_DOUBLE_EQ(delta.metrics[0].delta, 40.0);
+  EXPECT_DOUBLE_EQ(delta.metrics[0].rate_per_sec, 20.0);
+  // A metric absent from the earlier snapshot deltas from zero.
+  EXPECT_EQ(delta.metrics[1].name, "io.seeks");
+  EXPECT_DOUBLE_EQ(delta.metrics[1].previous, 0.0);
+  EXPECT_DOUBLE_EQ(delta.metrics[1].delta, 5.0);
+}
+
+TEST(ExpositionTest, SnapshotDeltaHistogramUsesCountAndSum) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("t", {1.0});
+  h->Observe(0.5);
+  const MetricsSnapshot earlier = registry.Snapshot();
+  h->Observe(2.0);
+  h->Observe(3.0);
+  const MetricsSnapshot later = registry.Snapshot();
+
+  const SnapshotDelta delta = SnapshotDelta::Between(earlier, later, 1000.0);
+  ASSERT_EQ(delta.metrics.size(), 1u);
+  EXPECT_EQ(delta.metrics[0].count_delta, 2u);
+  EXPECT_DOUBLE_EQ(delta.metrics[0].sum_delta, 5.0);
+  EXPECT_DOUBLE_EQ(delta.metrics[0].delta, 2.0);
+  EXPECT_DOUBLE_EQ(delta.metrics[0].rate_per_sec, 2.0);
+}
+
+TEST(ExpositionTest, LogWritesSamplesAndRateComments) {
+  const std::string path = ::testing::TempDir() + "exposition_log.prom";
+  MetricsRegistry registry;
+  Counter* reads = registry.GetCounter("io.page_reads");
+
+  ExpositionLog log(path);
+  reads->Add(10);
+  ASSERT_TRUE(log.Sample(registry.Snapshot(), "first").ok());
+  reads->Add(25);
+  ASSERT_TRUE(log.Sample(registry.Snapshot(), "second").ok());
+  EXPECT_EQ(log.samples_written(), 2u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("# hdov sample 0 label \"first\""), std::string::npos);
+  EXPECT_NE(text.find("# hdov sample 1 label \"second\""),
+            std::string::npos);
+  EXPECT_NE(text.find("io_page_reads 10\n"), std::string::npos);
+  EXPECT_NE(text.find("io_page_reads 35\n"), std::string::npos);
+  // The first sample has no interval, so rates only follow the second.
+  EXPECT_NE(text.find("# rate io_page_reads delta 25 per_sec "),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hdov

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "scene/city_generator.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/json.h"
 #include "telemetry/telemetry.h"
 #include "walkthrough/fidelity.h"
@@ -607,6 +608,61 @@ TEST_F(WalkthroughFixture, TelemetryQueryTraceHasSearchSpans) {
       telemetry::ParseJson(tel.SnapshotJson());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_NE(parsed->Find("trace"), nullptr);
+}
+
+TEST_F(WalkthroughFixture, TraceSamplingGatesSpanTrees) {
+  telemetry::Telemetry tel;
+  tel.tracer().set_enabled(true);
+  tel.tracer().set_sample_every(2);  // Span trees for queries 0 and 2.
+  auto visual = MakeVisual(0.001);
+  visual->AttachTelemetry(&tel, "visual");
+
+  std::vector<RetrievedLod> result;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(visual
+                    ->Query(CenterViewpoint().position,
+                            /*fetch_models=*/false, &result, nullptr)
+                    .ok());
+  }
+  const telemetry::TraceRecorder& rec = tel.tracer();
+  EXPECT_EQ(rec.queries_seen(), 4u);
+  EXPECT_EQ(rec.queries_sampled(), 2u);
+  EXPECT_EQ(rec.CountNamed("search"), 2u);
+  // Sampling only thins span trees — counters still see every query.
+  const telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
+  ASSERT_NE(snap.Find("visual.search.queries"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.Find("visual.search.queries")->value, 4.0);
+}
+
+TEST_F(WalkthroughFixture, FlightRecorderToggleKeepsCountersBitIdentical) {
+  // The recorder is always on under the zero-drift perf gate, so flipping
+  // it must never move a simulated counter.
+  Session session = RecordSession(MotionPattern::kNormalWalk,
+                                  scene_->bounds(), SessionOptions{
+                                      .num_frames = 12,
+                                  });
+  telemetry::FlightRecorder& recorder = telemetry::GlobalFlightRecorder();
+  const auto run = [&](bool enabled) {
+    recorder.set_enabled(enabled);
+    auto visual = MakeVisual(0.001);
+    Result<SessionSummary> summary = PlaySession(visual.get(), session);
+    EXPECT_TRUE(summary.ok());
+    const IoStats stats = visual->TotalIoStats();
+    recorder.set_enabled(true);
+    return stats;
+  };
+  const uint64_t recorded_before = recorder.events_recorded();
+  const IoStats with_recorder = run(true);
+  const uint64_t recorded_between = recorder.events_recorded();
+  const IoStats without_recorder = run(false);
+
+  EXPECT_EQ(with_recorder.page_reads, without_recorder.page_reads);
+  EXPECT_EQ(with_recorder.page_writes, without_recorder.page_writes);
+  EXPECT_EQ(with_recorder.seeks, without_recorder.seeks);
+  EXPECT_EQ(with_recorder.bytes_read, without_recorder.bytes_read);
+  EXPECT_EQ(with_recorder.bytes_written, without_recorder.bytes_written);
+  // The enabled run really did record (frame boundaries at minimum).
+  EXPECT_GT(recorded_between, recorded_before);
 }
 
 TEST_F(WalkthroughFixture, TelemetrySessionGaugesWrittenByFrameLoop) {

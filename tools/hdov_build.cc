@@ -7,19 +7,25 @@
 //   hdov_build --out=world.hdov [--blocks=16] [--cells=16] [--seed=N]
 //              [--samples-per-cell=1] [--face-resolution=64] [--threads=1]
 //              [--scale=default|large] [--stats-out=<path>]
+//              [--telemetry-out=<path>]
 //
 // --scale presets the paper's bench sizes (same values as the
 // HDOV_BENCH_SCALE environment knob); the explicit flags override it.
-// --stats-out writes the persist.* metric snapshot (bytes written, fsyncs,
-// checksum verifications) as JSON.
+// --telemetry-out writes the full build metric snapshot (persist.* plus
+// build.* world-shape gauges) as JSON; --stats-out writes the persist.*
+// subset of the SAME snapshot through the same emitter, so the persist
+// view can never drift from the full one.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "persist/snapshot.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
 #include "walkthrough/experiment_testbed.h"
 
@@ -29,6 +35,7 @@ namespace {
 struct BuildArgs {
   std::string out;
   std::string stats_out;
+  std::string telemetry_out;
   TestbedOptions testbed;
 };
 
@@ -38,7 +45,8 @@ struct BuildArgs {
                "usage: hdov_build --out=<path> [--blocks=N] [--cells=N]\n"
                "  [--seed=N] [--samples-per-cell=N] [--face-resolution=N]\n"
                "  [--threads=N] [--scale=default|large]"
-               " [--stats-out=<path>]\n",
+               " [--stats-out=<path>]\n"
+               "  [--telemetry-out=<path>]\n",
                flag);
   std::exit(2);
 }
@@ -57,6 +65,27 @@ bool IntFlag(const char* arg, const char* name, int* out) {
   return true;
 }
 
+// The single emitter behind --telemetry-out and --stats-out: both write a
+// view of the SAME captured snapshot in the standard telemetry JSON shape
+// (a frame-less telemetry document), so the persist-only subset can never
+// drift from the full export.
+Status EmitMetricsJson(const telemetry::MetricsSnapshot& view,
+                       const std::string& path) {
+  std::string doc = "{\"version\":1,\"metrics\":";
+  doc.append(view.ToJson());
+  doc.append(",\"frames_recorded\":0,\"frames_dropped\":0,\"frames\":[]}");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path);
+  }
+  out << doc;
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
 BuildArgs Parse(int argc, char** argv) {
   BuildArgs args;
   int threads = 1;
@@ -67,6 +96,8 @@ BuildArgs Parse(int argc, char** argv) {
       args.out = arg + 6;
     } else if (std::strncmp(arg, "--stats-out=", 12) == 0) {
       args.stats_out = arg + 12;
+    } else if (std::strncmp(arg, "--telemetry-out=", 16) == 0) {
+      args.telemetry_out = arg + 16;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
       if (std::strcmp(arg + 8, "large") == 0) {
         args.testbed.blocks = 20;
@@ -167,14 +198,38 @@ int Run(const BuildArgs& args) {
               static_cast<unsigned long long>(stats.checksum_verifications),
               phase.ElapsedMs() / 1000.0);
 
-  if (!args.stats_out.empty()) {
-    telemetry::Telemetry snapshot_stats;
-    stats.RegisterWith(&snapshot_stats.metrics(), "persist");
-    if (Status s = snapshot_stats.WriteJsonFile(args.stats_out); !s.ok()) {
-      std::fprintf(stderr, "hdov_build: %s\n", s.ToString().c_str());
-      return 1;
+  if (!args.stats_out.empty() || !args.telemetry_out.empty()) {
+    telemetry::MetricsRegistry registry;
+    stats.RegisterWith(&registry, "persist");
+    const double blocks = static_cast<double>(args.testbed.blocks);
+    const double cells = static_cast<double>(bed->grid.num_cells());
+    const double objects = static_cast<double>(bed->scene.size());
+    const double avg_visible =
+        static_cast<double>(bed->table.AverageVisibleObjects());
+    const double wall_ms = total.ElapsedMs();
+    registry.RegisterView("build.blocks", [blocks] { return blocks; });
+    registry.RegisterView("build.cells", [cells] { return cells; });
+    registry.RegisterView("build.objects", [objects] { return objects; });
+    registry.RegisterView("build.avg_visible_objects",
+                          [avg_visible] { return avg_visible; });
+    registry.RegisterView("build.wall_ms", [wall_ms] { return wall_ms; });
+    const telemetry::MetricsSnapshot metrics = registry.Snapshot();
+    if (!args.telemetry_out.empty()) {
+      if (Status s = EmitMetricsJson(metrics, args.telemetry_out); !s.ok()) {
+        std::fprintf(stderr, "hdov_build: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("telemetry: wrote %s\n", args.telemetry_out.c_str());
     }
-    std::printf("stats: wrote %s\n", args.stats_out.c_str());
+    if (!args.stats_out.empty()) {
+      if (Status s = EmitMetricsJson(
+              telemetry::FilterSnapshot(metrics, "persist"), args.stats_out);
+          !s.ok()) {
+        std::fprintf(stderr, "hdov_build: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("stats: wrote %s\n", args.stats_out.c_str());
+    }
   }
   std::printf("done in %.1f s\n", total.ElapsedMs() / 1000.0);
   return 0;
