@@ -87,6 +87,9 @@ class Status {
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   // Message without the code prefix; empty for OK.
   std::string_view message() const {

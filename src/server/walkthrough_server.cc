@@ -1,0 +1,269 @@
+#include "server/walkthrough_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "hdov/builder.h"
+#include "persist/world_codec.h"
+#include "server/session_device.h"
+
+namespace hdov {
+
+namespace {
+
+double WallMillisSince(
+    const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalkthroughServer>> WalkthroughServer::Open(
+    const ServerOptions& options) {
+  std::unique_ptr<WalkthroughServer> server(new WalkthroughServer(options));
+  HDOV_RETURN_IF_ERROR(server->LoadWorld());
+  return server;
+}
+
+Status WalkthroughServer::LoadWorld() {
+  HDOV_ASSIGN_OR_RETURN(
+      loader_, SnapshotLoader::Open(options_.snapshot_path, &persist_));
+  if (loader_->page_size() != options_.visual.disk.page_size) {
+    return Status::InvalidArgument(
+        "server: snapshot page size does not match the disk model");
+  }
+
+  // Shared world, decoded once: scene, grid, tree, store/model metadata.
+  HDOV_ASSIGN_OR_RETURN(std::string scene_bytes,
+                        loader_->ReadBlob(kSectionScene));
+  HDOV_ASSIGN_OR_RETURN(scene_, DecodeScene(scene_bytes));
+  HDOV_ASSIGN_OR_RETURN(std::string grid_bytes,
+                        loader_->ReadBlob(kSectionCellGrid));
+  HDOV_ASSIGN_OR_RETURN(CellGridOptions gopt,
+                        DecodeCellGridOptions(grid_bytes));
+  HDOV_ASSIGN_OR_RETURN(grid_, CellGrid::Build(scene_.bounds(), gopt));
+
+  // The base devices are opened once and, after the tree decode below,
+  // only ever touched through the const unbilled read path; billing
+  // happens on each session's private SessionDevices.
+  HDOV_ASSIGN_OR_RETURN(
+      tree_base_, loader_->OpenDevice(kSectionTreeDevice,
+                                      options_.visual.disk, &load_clock_));
+  const std::string scheme = StorageSchemeName(options_.visual.scheme);
+  HDOV_ASSIGN_OR_RETURN(
+      store_base_, loader_->OpenDevice(StoreDeviceSection(scheme),
+                                       options_.visual.disk, &load_clock_));
+  HDOV_ASSIGN_OR_RETURN(
+      model_base_, loader_->OpenDevice(kSectionModelDevice,
+                                       options_.visual.disk, &load_clock_));
+
+  HDOV_ASSIGN_OR_RETURN(std::string manifest,
+                        loader_->ReadBlob(kSectionTreeManifest));
+  HDOV_ASSIGN_OR_RETURN(HdovTree tree,
+                        HdovTree::FromManifest(tree_base_.get(), manifest));
+  tree_ = std::make_shared<const HdovTree>(std::move(tree));
+  tree_base_->ResetStats();  // The decode's billing is not a workload.
+
+  HDOV_ASSIGN_OR_RETURN(store_meta_,
+                        loader_->ReadBlob(StoreMetaSection(scheme)));
+  HDOV_ASSIGN_OR_RETURN(model_meta_, loader_->ReadBlob(kSectionModelMeta));
+
+  if (options_.shared_cache_pages > 0) {
+    ShardedPoolOptions popt;
+    popt.capacity_pages = options_.shared_cache_pages;
+    popt.shards = options_.cache_shards;
+    popt.flight_name = "server.pool.store";
+    store_pool_ = std::make_unique<ShardedBufferPool>(store_base_.get(), popt);
+    popt.flight_name = "server.pool.tree";
+    tree_pool_ = std::make_unique<ShardedBufferPool>(tree_base_.get(), popt);
+  }
+
+  world_.scene = &scene_;
+  world_.grid = &grid_;
+  world_.tree = tree_;
+  world_.store_meta = store_meta_;
+  world_.model_meta = model_meta_;
+  world_.make_device =
+      [this](SessionDeviceRole role,
+             SimClock* clock) -> Result<std::unique_ptr<PageDevice>> {
+    const PageDevice* base = nullptr;
+    ShardedBufferPool* cache = nullptr;
+    switch (role) {
+      case SessionDeviceRole::kTree:
+        base = tree_base_.get();
+        cache = tree_pool_.get();
+        break;
+      case SessionDeviceRole::kStore:
+        base = store_base_.get();
+        cache = store_pool_.get();
+        break;
+      case SessionDeviceRole::kModel:
+        base = model_base_.get();
+        break;  // Model fetches bill without data; no cache needed.
+    }
+    return std::unique_ptr<PageDevice>(
+        new SessionDevice(base, cache, options_.visual.disk, clock));
+  };
+  return Status::OK();
+}
+
+Status WalkthroughServer::AddSession(const Session& session) {
+  if (session.frames.empty()) {
+    return Status::InvalidArgument("server: empty session");
+  }
+  sessions_.push_back(session);
+  return Status::OK();
+}
+
+Result<ServerRunStats> WalkthroughServer::Play() {
+  if (sessions_.empty()) {
+    return Status::InvalidArgument("server: no sessions registered");
+  }
+
+  // One private view per session; construction is sequential, so even the
+  // (one-time) store-meta reattachment does not race.
+  struct Runner {
+    const Session* session = nullptr;
+    std::unique_ptr<VisualSystem> system;
+    size_t next_frame = 0;
+    SessionAccumulator acc;
+    std::vector<double> frame_wall_ms;
+    Status status;  // First frame error, if any.
+  };
+  std::vector<Runner> runners(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    runners[i].session = &sessions_[i];
+    HDOV_ASSIGN_OR_RETURN(runners[i].system,
+                          VisualSystem::CreateSessionView(world_,
+                                                          options_.visual));
+    runners[i].frame_wall_ms.reserve(sessions_[i].frames.size());
+  }
+
+  const BufferPoolStats store_cache0 =
+      store_pool_ != nullptr ? store_pool_->TotalStats() : BufferPoolStats();
+  const BufferPoolStats tree_cache0 =
+      tree_pool_ != nullptr ? tree_pool_->TotalStats() : BufferPoolStats();
+
+  ServerRunStats stats;
+  ThreadPool pool(ThreadPool::ResolveThreads(options_.workers));
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  // Lockstep rounds: every live session advances exactly one frame per
+  // round, so each session still sees its frames strictly in order.
+  for (;;) {
+    // Group this round's frames by the cell they are about to query
+    // (ordered map: the group layout is deterministic, and so are the
+    // batch counters derived from it).
+    std::map<CellId, std::vector<size_t>> by_cell;
+    size_t live = 0;
+    for (size_t i = 0; i < runners.size(); ++i) {
+      Runner& r = runners[i];
+      if (!r.status.ok() || r.next_frame >= r.session->frames.size()) {
+        continue;
+      }
+      ++live;
+      const Viewpoint& vp = r.session->frames[r.next_frame];
+      const CellId cell = options_.batch_same_cell
+                              ? grid_.ClampedCellForPoint(vp.position)
+                              : static_cast<CellId>(i);
+      by_cell[cell].push_back(i);
+    }
+    if (live == 0) {
+      break;
+    }
+    ++stats.rounds;
+
+    std::vector<std::vector<size_t>> groups;
+    groups.reserve(by_cell.size());
+    for (auto& [cell, members] : by_cell) {
+      if (members.size() >= 2) {
+        ++stats.batch_groups;
+        stats.batched_frames += members.size();
+      }
+      groups.push_back(std::move(members));
+    }
+
+    // One task per group: members render back-to-back on one worker, so
+    // the first miss on a shared V-page warms the cache for the rest.
+    pool.ParallelFor(groups.size(), [&](size_t slot, size_t g) {
+      (void)slot;
+      for (size_t idx : groups[g]) {
+        Runner& r = runners[idx];
+        const Viewpoint& vp = r.session->frames[r.next_frame];
+        FrameResult frame;
+        const auto t0 = std::chrono::steady_clock::now();
+        Status status = r.system->RenderFrame(vp, &frame);
+        if (!status.ok()) {
+          r.status = status;
+          return;
+        }
+        r.frame_wall_ms.push_back(WallMillisSince(t0));
+        r.acc.Add(frame);
+        ++r.next_frame;
+      }
+    });
+
+    for (const Runner& r : runners) {
+      if (!r.status.ok()) {
+        return r.status;
+      }
+    }
+  }
+
+  stats.wall_ms = WallMillisSince(wall0);
+  for (Runner& r : runners) {
+    ServerSessionRecord record;
+    record.summary.system_name = r.system->name();
+    record.summary.session_name = r.session->name;
+    r.acc.FinishInto(&record.summary);
+    record.io = r.system->TotalIoStats();
+    record.sim_clock_ms = r.system->clock().NowMillis();
+    record.frame_wall_ms = std::move(r.frame_wall_ms);
+    stats.total_frames += record.summary.num_frames;
+    stats.sessions.push_back(std::move(record));
+  }
+  if (store_pool_ != nullptr) {
+    const BufferPoolStats now = store_pool_->TotalStats();
+    stats.store_cache.hits = now.hits - store_cache0.hits;
+    stats.store_cache.misses = now.misses - store_cache0.misses;
+    stats.store_cache.evictions = now.evictions - store_cache0.evictions;
+  }
+  if (tree_pool_ != nullptr) {
+    const BufferPoolStats now = tree_pool_->TotalStats();
+    stats.tree_cache.hits = now.hits - tree_cache0.hits;
+    stats.tree_cache.misses = now.misses - tree_cache0.misses;
+    stats.tree_cache.evictions = now.evictions - tree_cache0.evictions;
+  }
+  sessions_.clear();
+  return stats;
+}
+
+void WalkthroughServer::RollupInto(const ServerRunStats& stats,
+                                   telemetry::MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  for (const ServerSessionRecord& record : stats.sessions) {
+    const SessionSummary& s = record.summary;
+    const std::string base = prefix + ".session." + s.session_name;
+    registry->GetGauge(base + ".avg_frame_time_ms")->Set(s.avg_frame_time_ms);
+    registry->GetGauge(base + ".var_frame_time")->Set(s.var_frame_time);
+    registry->GetGauge(base + ".avg_io_pages")->Set(s.avg_io_pages);
+    registry->GetGauge(base + ".cache_hit_rate")->Set(s.avg_cache_hit_rate);
+    registry->GetGauge(base + ".max_resident_bytes")
+        ->Set(static_cast<double>(s.max_resident_bytes));
+  }
+  registry->GetGauge(prefix + ".frames")
+      ->Set(static_cast<double>(stats.total_frames));
+  registry->GetGauge(prefix + ".rounds")
+      ->Set(static_cast<double>(stats.rounds));
+  registry->GetGauge(prefix + ".batch_groups")
+      ->Set(static_cast<double>(stats.batch_groups));
+  registry->GetGauge(prefix + ".batched_frames")
+      ->Set(static_cast<double>(stats.batched_frames));
+}
+
+}  // namespace hdov

@@ -1,0 +1,144 @@
+// WalkthroughServer: serves N concurrent walkthrough sessions from one
+// file-backed world snapshot, opened read-only and opened once.
+//
+// What is shared (immutable or internally synchronized):
+//   - the snapshot file handle and the three base FilePageDevices
+//     (const read path only: pread + CRC, per-call buffers),
+//   - the decoded scene, cell grid, and packed HDoV-tree,
+//   - the sharded page caches deduplicating real I/O (store + tree).
+// What is per-session (no synchronization, no sharing):
+//   - a VisualSystem view (searcher, V-page store, model store, resident
+//     set) with three private SessionDevices billing a private SimClock
+//     and private IoStats.
+// Because each session's billed read sequence depends only on its own
+// frames, its simulated counters are bit-identical to playing the same
+// session alone — regardless of scheduling. See docs/threading.md.
+//
+// Scheduling: Play() advances all sessions in lockstep rounds of one
+// frame each. Within a round, frames are grouped by the viewing cell
+// their session is about to query; each group runs as one task, so
+// co-located sessions execute back-to-back on one worker and the first
+// one's V-page misses warm the shared cache for the rest (same-cell
+// batching). Groups run in parallel across the worker pool.
+
+#ifndef HDOV_SERVER_WALKTHROUGH_SERVER_H_
+#define HDOV_SERVER_WALKTHROUGH_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/snapshot.h"
+#include "scene/cell_grid.h"
+#include "scene/session.h"
+#include "storage/sharded_buffer_pool.h"
+#include "walkthrough/frame_loop.h"
+#include "walkthrough/visual_system.h"
+
+namespace hdov {
+
+struct ServerOptions {
+  std::string snapshot_path;
+  // Per-session configuration; `visual.disk.page_size` must match the
+  // snapshot and `visual.scheme` picks the store sections to serve.
+  VisualOptions visual;
+  // Shared read-cache capacity (pages) for each of the V-page store and
+  // the tree device; 0 disables the caches (every miss hits the file).
+  size_t shared_cache_pages = 4096;
+  size_t cache_shards = 8;
+  // Render worker threads (0 = one per hardware thread, 1 = inline).
+  uint32_t workers = 4;
+  // Group same-cell frames of a round onto one worker task.
+  bool batch_same_cell = true;
+};
+
+// Everything Play() measured about one session. `summary` holds only
+// simulated, deterministic values (identical to solo playback); the wall
+// timings are real and vary run to run.
+struct ServerSessionRecord {
+  SessionSummary summary;
+  IoStats io;               // The session's total simulated I/O.
+  double sim_clock_ms = 0.0;
+  std::vector<double> frame_wall_ms;  // Real latency of each frame.
+};
+
+struct ServerRunStats {
+  std::vector<ServerSessionRecord> sessions;
+  // Deterministic scheduler counters.
+  uint64_t total_frames = 0;
+  uint64_t rounds = 0;
+  uint64_t batch_groups = 0;    // Round-groups holding >= 2 frames.
+  uint64_t batched_frames = 0;  // Frames that rode in such groups.
+  // Real-time measurements (nondeterministic).
+  double wall_ms = 0.0;
+  BufferPoolStats store_cache;  // Shared-cache traffic during the run.
+  BufferPoolStats tree_cache;
+};
+
+class WalkthroughServer {
+ public:
+  // Opens the snapshot read-only and decodes the shared world once.
+  static Result<std::unique_ptr<WalkthroughServer>> Open(
+      const ServerOptions& options);
+
+  WalkthroughServer(const WalkthroughServer&) = delete;
+  WalkthroughServer& operator=(const WalkthroughServer&) = delete;
+
+  // Registers a session to serve on the next Play(). Sessions are
+  // independent; nothing about one leaks into another's billing.
+  Status AddSession(const Session& session);
+  size_t num_sessions() const { return sessions_.size(); }
+
+  // Plays every registered session to completion and clears the roster.
+  // Per-session summaries are computed with the same SessionAccumulator
+  // PlaySession uses, over the same frame sequence — so they match solo
+  // playback bit for bit.
+  Result<ServerRunStats> Play();
+
+  const Scene& scene() const { return scene_; }
+  const CellGrid& grid() const { return grid_; }
+  const SharedWorldView& world() const { return world_; }
+
+  // Writes the deterministic aggregates of a finished run into `registry`
+  // as gauges: `<prefix>.session.<name>.*` per session (the same five
+  // gauges PlaySession emits) plus `<prefix>.frames`, `.rounds`,
+  // `.batch_groups`, `.batched_frames`. Wall-clock and shared-cache
+  // numbers are deliberately excluded — they vary run to run, and these
+  // gauges feed zero-tolerance bench comparisons.
+  static void RollupInto(const ServerRunStats& stats,
+                         telemetry::MetricsRegistry* registry,
+                         const std::string& prefix);
+
+ private:
+  explicit WalkthroughServer(const ServerOptions& options)
+      : options_(options) {}
+
+  Status LoadWorld();
+
+  ServerOptions options_;
+  PersistStats persist_;
+  std::unique_ptr<SnapshotLoader> loader_;
+  // Clock the one-time world decode bills into; never read afterwards.
+  SimClock load_clock_;
+
+  Scene scene_;
+  CellGrid grid_;
+  std::shared_ptr<const HdovTree> tree_;
+  std::string store_meta_;
+  std::string model_meta_;
+
+  // Shared base devices (const read path only after LoadWorld).
+  std::unique_ptr<FilePageDevice> tree_base_;
+  std::unique_ptr<FilePageDevice> store_base_;
+  std::unique_ptr<FilePageDevice> model_base_;
+  std::unique_ptr<ShardedBufferPool> tree_pool_;   // Null when disabled.
+  std::unique_ptr<ShardedBufferPool> store_pool_;  // Null when disabled.
+
+  SharedWorldView world_;
+  std::vector<Session> sessions_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_SERVER_WALKTHROUGH_SERVER_H_

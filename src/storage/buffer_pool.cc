@@ -7,7 +7,8 @@ Result<BufferPool::PageRef> BufferPool::Get(PageId page) {
   if (it != entries_.end()) {
     ++stats_.hits;
     telemetry::GlobalFlightRecorder().Record(
-        telemetry::FlightEventType::kPoolHit, flight_code_, page, 0);
+        telemetry::FlightEventType::kPoolHit,
+        flight_code_.load(std::memory_order_relaxed), page, 0);
     lru_.erase(it->second->lru_it);
     lru_.push_front(page);
     it->second->lru_it = lru_.begin();
@@ -17,7 +18,8 @@ Result<BufferPool::PageRef> BufferPool::Get(PageId page) {
 
   ++stats_.misses;
   telemetry::GlobalFlightRecorder().Record(
-      telemetry::FlightEventType::kPoolMiss, flight_code_, page, 0);
+      telemetry::FlightEventType::kPoolMiss,
+      flight_code_.load(std::memory_order_relaxed), page, 0);
   auto entry = std::make_unique<Entry>();
   HDOV_RETURN_IF_ERROR(device_->Read(page, &entry->data));
 
@@ -56,8 +58,12 @@ void BufferPool::Unpin(Entry* entry) {
 }
 
 void BufferPool::RegisterWith(telemetry::MetricsRegistry* registry,
-                              const std::string& prefix) const {
-  flight_code_ = telemetry::FlightInternName(prefix);
+                              const std::string& prefix) {
+  UnregisterViews();
+  flight_code_.store(telemetry::FlightInternName(prefix),
+                     std::memory_order_relaxed);
+  view_registry_ = registry;
+  view_prefix_ = prefix;
   const BufferPoolStats* stats = &stats_;
   registry->RegisterView(prefix + ".hits", [stats] {
     return static_cast<double>(stats->hits);
@@ -70,6 +76,14 @@ void BufferPool::RegisterWith(telemetry::MetricsRegistry* registry,
   });
   registry->RegisterView(prefix + ".hit_rate",
                          [stats] { return stats->HitRate(); });
+}
+
+void BufferPool::UnregisterViews() {
+  if (view_registry_ != nullptr) {
+    view_registry_->UnregisterPrefix(view_prefix_ + ".");
+    view_registry_ = nullptr;
+    view_prefix_.clear();
+  }
 }
 
 void BufferPool::Clear() {

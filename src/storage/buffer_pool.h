@@ -15,6 +15,7 @@
 #ifndef HDOV_STORAGE_BUFFER_POOL_H_
 #define HDOV_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <list>
@@ -102,6 +103,8 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  ~BufferPool() { UnregisterViews(); }
+
   // Returns a pinned ref to the page contents, reading through on a miss.
   Result<PageRef> Get(PageId page);
 
@@ -120,10 +123,17 @@ class BufferPool {
 
   // Folds the pool's hit/miss/eviction counters (and a derived hit-rate
   // gauge) into `registry` as `<prefix>.hits`, `.misses`, `.evictions`,
-  // `.hit_rate` read-through views. The pool must outlive the
-  // registration (unregister the prefix before destroying the pool).
+  // `.hit_rate` read-through views. The registration is dropped again by
+  // UnregisterViews(), which the destructor calls, so a view can never
+  // outlive the pool it reads; `registry` must still be alive at that
+  // point (registering with a registry the pool outlives requires an
+  // explicit UnregisterViews() before the registry goes away).
   void RegisterWith(telemetry::MetricsRegistry* registry,
-                    const std::string& prefix) const;
+                    const std::string& prefix);
+
+  // Removes the views installed by the last RegisterWith, if any.
+  // Idempotent. Must run on the registry's owner thread.
+  void UnregisterViews();
 
  private:
   struct Entry {
@@ -140,9 +150,14 @@ class BufferPool {
   PageDevice* device_;
   size_t capacity_;
   // Flight-recorder code of hit/miss events; "pool" until RegisterWith
-  // names it after the registration prefix (mutable: RegisterWith is
-  // const, it only wires read-through views).
-  mutable uint16_t flight_code_;
+  // names it after the registration prefix. Atomic because a concurrent
+  // reader can be on the Get/Record path while another thread (re)wires
+  // telemetry; relaxed ordering is enough, a stale code only mislabels
+  // an event, it cannot corrupt anything.
+  std::atomic<uint16_t> flight_code_;
+  // Where the stats views are currently registered (null when none).
+  telemetry::MetricsRegistry* view_registry_ = nullptr;
+  std::string view_prefix_;
   BufferPoolStats stats_;
   std::list<PageId> lru_;  // Front = most recently used.
   std::unordered_map<PageId, std::unique_ptr<Entry>> entries_;

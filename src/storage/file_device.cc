@@ -318,14 +318,17 @@ Status FilePageDevice::Write(PageId page, std::string_view data) {
 
 Status FilePageDevice::FetchPage(PageId page, std::string* out) const {
   const PageEntry& entry = table_[page];
-  scratch_.resize(page_size());
+  // Per-call buffer: this path must stay safe for concurrent readers, so
+  // there is deliberately no shared scratch space. `out` is only assigned
+  // after the checksum verifies, preserving untouched-output-on-error.
+  std::string buffer(page_size(), '\0');
   HDOV_RETURN_IF_ERROR(file_->PreadExact(SlotFileOffset(entry.slot),
-                                         scratch_.data(), scratch_.size()));
+                                         buffer.data(), buffer.size()));
   if (persist_ != nullptr) {
-    persist_->bytes_read += scratch_.size();
+    persist_->bytes_read += buffer.size();
     ++persist_->checksum_verifications;
   }
-  if (Crc32c(scratch_) != entry.crc) {
+  if (Crc32c(buffer) != entry.crc) {
     if (persist_ != nullptr) {
       ++persist_->checksum_failures;
     }
@@ -333,7 +336,7 @@ Status FilePageDevice::FetchPage(PageId page, std::string* out) const {
                               file_->path());
   }
   if (out != nullptr) {
-    *out = scratch_;
+    *out = std::move(buffer);
   }
   return Status::OK();
 }
@@ -366,13 +369,12 @@ Status FilePageDevice::ReadRun(PageId first, uint64_t count,
   }
   out->clear();
   out->reserve(count);
-  std::string page;
   for (uint64_t i = 0; i < count; ++i) {
     if (table_[first + i].materialized == 0) {
       out->emplace_back(page_size(), '\0');
     } else {
-      HDOV_RETURN_IF_ERROR(FetchPage(first + i, &page));
-      out->push_back(page);
+      out->emplace_back();
+      HDOV_RETURN_IF_ERROR(FetchPage(first + i, &out->back()));
     }
   }
   return Status::OK();

@@ -21,6 +21,7 @@
 #ifndef HDOV_STORAGE_FILE_DEVICE_H_
 #define HDOV_STORAGE_FILE_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -66,14 +67,17 @@ class FileHandle {
 
 // Durability counters for the persistence layer, surfaced through the
 // metrics registry as `persist.*` views. One struct is typically shared
-// by every file device of a snapshot plus its writer/loader.
+// by every file device of a snapshot plus its writer/loader. The integer
+// counters are relaxed atomics because the read-side accounting runs on
+// the (thread-safe, const) ReadRaw path, which several server sessions
+// may drive concurrently through shared base devices.
 struct PersistStats {
-  uint64_t bytes_written = 0;
-  uint64_t bytes_read = 0;
-  uint64_t fsyncs = 0;
-  uint64_t checksum_verifications = 0;
-  uint64_t checksum_failures = 0;
-  double load_millis = 0.0;  // Filled by SnapshotLoader.
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> fsyncs{0};
+  std::atomic<uint64_t> checksum_verifications{0};
+  std::atomic<uint64_t> checksum_failures{0};
+  double load_millis = 0.0;  // Filled by SnapshotLoader (single-threaded).
 
   // Registers read-through views `<prefix>.bytes_written`, `.bytes_read`,
   // `.fsyncs`, `.checksum_verifications`, `.checksum_failures`,
@@ -154,10 +158,14 @@ class FilePageDevice : public PageDevice {
   std::shared_ptr<FileHandle> file_;
   uint64_t region_offset_;
   PersistStats* persist_;          // May be null.
+  // Shared state. Once a region has been opened (or synced) the table is
+  // only mutated by the writer-side calls (Allocate/Write/Restore/Sync);
+  // the const read path (ReadRaw/FetchPage/IsMaterialized) takes no locks
+  // and is safe for concurrent readers as long as no writer is active —
+  // pread is positional and each call owns its buffer on the stack.
   std::vector<PageEntry> table_;
   uint64_t materialized_count_ = 0;
   uint64_t region_length_ = 0;
-  mutable std::string scratch_;    // pread target for CRC-checked reads.
 };
 
 }  // namespace hdov

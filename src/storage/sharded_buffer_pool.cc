@@ -1,0 +1,85 @@
+#include "storage/sharded_buffer_pool.h"
+
+#include <algorithm>
+
+namespace hdov {
+
+ShardedBufferPool::ShardedBufferPool(const PageDevice* base,
+                                     const ShardedPoolOptions& options)
+    : base_(base),
+      capacity_(options.capacity_pages),
+      flight_code_(telemetry::FlightInternName(options.flight_name)),
+      shards_(std::max<size_t>(1, options.shards)) {
+  per_shard_capacity_ =
+      (capacity_ + shards_.size() - 1) / shards_.size();  // Ceil.
+}
+
+Result<std::shared_ptr<const std::string>> ShardedBufferPool::Get(
+    PageId page) {
+  Shard& shard = ShardFor(page);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(page);
+    if (it != shard.entries.end()) {
+      ++shard.stats.hits;
+      telemetry::GlobalFlightRecorder().Record(
+          telemetry::FlightEventType::kPoolHit, flight_code_, page, 0);
+      shard.lru.erase(it->second.lru_it);
+      shard.lru.push_front(page);
+      it->second.lru_it = shard.lru.begin();
+      return it->second.data;
+    }
+    ++shard.stats.misses;
+  }
+  telemetry::GlobalFlightRecorder().Record(
+      telemetry::FlightEventType::kPoolMiss, flight_code_, page, 0);
+
+  // Device read outside the lock: concurrent misses on one page may each
+  // read it (the page is immutable, so all copies are identical); the
+  // insert below re-checks so the shard keeps a single entry.
+  auto data = std::make_shared<std::string>();
+  HDOV_RETURN_IF_ERROR(base_->ReadRaw(page, data.get()));
+  std::shared_ptr<const std::string> frozen = std::move(data);
+
+  if (capacity_ == 0) {
+    return frozen;  // Pure read-through.
+  }
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(page);
+  if (it != shard.entries.end()) {
+    // A racing miss inserted it first; serve the cached copy and keep the
+    // LRU position it already earned.
+    return it->second.data;
+  }
+  shard.lru.push_front(page);
+  shard.entries.emplace(page, Entry{frozen, shard.lru.begin()});
+  while (shard.entries.size() > per_shard_capacity_) {
+    const PageId victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.entries.erase(victim);
+    ++shard.stats.evictions;
+  }
+  return frozen;
+}
+
+size_t ShardedBufferPool::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+BufferPoolStats ShardedBufferPool::TotalStats() const {
+  BufferPoolStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+}  // namespace hdov

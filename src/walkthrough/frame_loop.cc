@@ -27,15 +27,8 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
   SessionSummary summary;
   summary.system_name = system->name();
   summary.session_name = session.name;
-  summary.num_frames = session.frames.size();
 
-  double sum_time = 0.0;
-  double sum_time_sq = 0.0;
-  double sum_query = 0.0;
-  double sum_io = 0.0;
-  double sum_light_io = 0.0;
-  double sum_cache_hit_rate = 0.0;
-
+  SessionAccumulator acc;
   for (const Viewpoint& vp : session.frames) {
     FrameResult frame;
     Status status = system->RenderFrame(vp, &frame);
@@ -45,28 +38,12 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
       }
       return status;
     }
-    sum_time += frame.frame_time_ms;
-    sum_time_sq += frame.frame_time_ms * frame.frame_time_ms;
-    sum_query += frame.query_time_ms;
-    sum_io += static_cast<double>(frame.io_pages);
-    sum_light_io += static_cast<double>(frame.light_io_pages);
-    sum_cache_hit_rate += frame.cache_hit_rate;
-    summary.max_resident_bytes =
-        std::max(summary.max_resident_bytes, frame.resident_bytes);
+    acc.Add(frame);
     if (options.keep_frames) {
       summary.frames.push_back(frame);
     }
   }
-
-  const double n = static_cast<double>(summary.num_frames);
-  summary.avg_frame_time_ms = sum_time / n;
-  summary.var_frame_time =
-      std::max(0.0, sum_time_sq / n -
-                        summary.avg_frame_time_ms * summary.avg_frame_time_ms);
-  summary.avg_query_time_ms = sum_query / n;
-  summary.avg_io_pages = sum_io / n;
-  summary.avg_light_io_pages = sum_light_io / n;
-  summary.avg_cache_hit_rate = sum_cache_hit_rate / n;
+  acc.FinishInto(&summary);
 
   if (telemetry != nullptr) {
     telemetry->set_context(saved_context);

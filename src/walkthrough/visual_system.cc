@@ -20,7 +20,8 @@ VisualSystem::VisualSystem(const Scene* scene, const CellGrid* grid,
 // trackers so measured workloads start from an identical state on both
 // paths.
 void VisualSystem::FinishConstruction() {
-  searcher_ = std::make_unique<HdovSearcher>(&tree_, scene_, models_.get(),
+  searcher_ = std::make_unique<HdovSearcher>(tree_.get(), scene_,
+                                             models_.get(),
                                              tree_device_.get());
   if (options_.tree_cache_pages > 0) {
     tree_cache_ = std::make_unique<BufferPool>(tree_device_.get(),
@@ -42,13 +43,16 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
   }
   auto system = std::unique_ptr<VisualSystem>(
       new VisualSystem(scene, grid, options));
+  // Build and pack mutate the tree; afterwards it is frozen behind a
+  // shared const handle (sessions of a server may alias it).
   HDOV_ASSIGN_OR_RETURN(
-      system->tree_,
+      HdovTree built,
       HdovBuilder::Build(*scene, system->models_.get(), options.build));
-  HDOV_RETURN_IF_ERROR(system->tree_.Pack(system->tree_device_.get()));
+  HDOV_RETURN_IF_ERROR(built.Pack(system->tree_device_.get()));
+  system->tree_ = std::make_shared<const HdovTree>(std::move(built));
   HDOV_ASSIGN_OR_RETURN(
       system->store_,
-      BuildStore(options.scheme, system->tree_, *table,
+      BuildStore(options.scheme, *system->tree_, *table,
                  system->store_device_.get(), options.build_threads));
   system->FinishConstruction();
   return system;
@@ -93,13 +97,44 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::CreateFromSnapshot(
   HDOV_ASSIGN_OR_RETURN(std::string manifest,
                         snapshot.ReadBlob(kSectionTreeManifest));
   HDOV_ASSIGN_OR_RETURN(
-      system->tree_,
+      HdovTree loaded,
       HdovTree::FromManifest(system->tree_device_.get(), manifest));
+  system->tree_ = std::make_shared<const HdovTree>(std::move(loaded));
   HDOV_ASSIGN_OR_RETURN(std::string store_meta,
                         snapshot.ReadBlob(StoreMetaSection(scheme)));
   HDOV_ASSIGN_OR_RETURN(
       system->store_,
-      LoadStore(options.scheme, system->tree_, store_meta,
+      LoadStore(options.scheme, *system->tree_, store_meta,
+                system->store_device_.get()));
+  system->FinishConstruction();
+  return system;
+}
+
+Result<std::unique_ptr<VisualSystem>> VisualSystem::CreateSessionView(
+    const SharedWorldView& world, const VisualOptions& options) {
+  if (world.scene == nullptr || world.grid == nullptr ||
+      world.tree == nullptr || !world.make_device) {
+    return Status::InvalidArgument(
+        "visual: shared world view is missing a component");
+  }
+  auto system = std::unique_ptr<VisualSystem>(
+      new VisualSystem(world.scene, world.grid, options));
+  HDOV_ASSIGN_OR_RETURN(
+      system->tree_device_,
+      world.make_device(SessionDeviceRole::kTree, &system->clock_));
+  HDOV_ASSIGN_OR_RETURN(
+      system->store_device_,
+      world.make_device(SessionDeviceRole::kStore, &system->clock_));
+  HDOV_ASSIGN_OR_RETURN(
+      system->model_device_,
+      world.make_device(SessionDeviceRole::kModel, &system->clock_));
+  system->models_ =
+      std::make_unique<ModelStore>(system->model_device_.get());
+  HDOV_RETURN_IF_ERROR(system->models_->RestoreMeta(world.model_meta));
+  system->tree_ = world.tree;
+  HDOV_ASSIGN_OR_RETURN(
+      system->store_,
+      LoadStore(options.scheme, *system->tree_, world.store_meta,
                 system->store_device_.get()));
   system->FinishConstruction();
   return system;
@@ -127,9 +162,9 @@ void VisualSystem::RegisterTelemetry() {
   telemetry::Histogram* fanout = m.GetHistogram(
       p + ".tree.node_fanout",
       telemetry::LinearBuckets(2.0, 2.0,
-                               std::max<size_t>(2, tree_.fanout() / 2 + 1)));
-  for (size_t i = 0; i < tree_.num_nodes(); ++i) {
-    fanout->Observe(static_cast<double>(tree_.node(i).entries.size()));
+                               std::max<size_t>(2, tree_->fanout() / 2 + 1)));
+  for (size_t i = 0; i < tree_->num_nodes(); ++i) {
+    fanout->Observe(static_cast<double>(tree_->node(i).entries.size()));
   }
 }
 
@@ -289,6 +324,8 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   if (tree_cache_ != nullptr) {
     const uint64_t hits = tree_cache_->stats().hits - cache_hits0;
     const uint64_t misses = tree_cache_->stats().misses - cache_misses0;
+    result->cache_hits = hits;
+    result->cache_misses = misses;
     result->cache_hit_rate =
         hits + misses == 0
             ? 0.0

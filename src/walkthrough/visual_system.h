@@ -5,7 +5,9 @@
 #ifndef HDOV_WALKTHROUGH_VISUAL_SYSTEM_H_
 #define HDOV_WALKTHROUGH_VISUAL_SYSTEM_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -44,6 +46,35 @@ struct VisualOptions {
   uint32_t build_threads = 1;
 };
 
+// Which of a session's three private billing devices a SharedWorldView
+// device factory is being asked for.
+enum class SessionDeviceRole { kTree = 0, kStore = 1, kModel = 2 };
+
+// One fully built, immutable world, shared by many concurrently running
+// session views (see CreateSessionView and src/server/). Everything here
+// is read-only after construction: the scene, the grid, the packed tree,
+// and the two metadata blobs. Only the device factory produces per-session
+// state — each session gets three private devices billing into its own
+// SimClock, which is what keeps per-session simulated counters independent
+// of how sessions interleave. All referenced objects must outlive every
+// session created from the view.
+struct SharedWorldView {
+  const Scene* scene = nullptr;
+  const CellGrid* grid = nullptr;
+  std::shared_ptr<const HdovTree> tree;
+  // VisibilityStore::EncodeMeta blob of the scheme sessions will use
+  // (must match VisualOptions::scheme at CreateSessionView time).
+  std::string store_meta;
+  // ModelStore::EncodeMeta blob.
+  std::string model_meta;
+  // Factory for a session's private devices; called three times per
+  // session. The returned device must bill into `clock` and serve the
+  // same page images as the world the metadata was encoded from.
+  std::function<Result<std::unique_ptr<PageDevice>>(SessionDeviceRole,
+                                                    SimClock* clock)>
+      make_device;
+};
+
 // How CreateFromSnapshot materializes the snapshot's device sections.
 enum class SnapshotLoadMode {
   // Copy every device image into memory devices (default): queries run
@@ -72,6 +103,15 @@ class VisualSystem : public WalkthroughSystem {
       const VisualOptions& options,
       SnapshotLoadMode mode = SnapshotLoadMode::kMemoryResident);
 
+  // A lightweight per-session view over a world somebody else built: the
+  // tree is shared (immutable after build), the store/model state is
+  // reattached from the view's metadata blobs, and the three devices come
+  // from the view's factory. Query results and simulated billing are
+  // identical to a CreateFromSnapshot over the same world as long as the
+  // factory's devices serve the same pages with the same DiskModel.
+  static Result<std::unique_ptr<VisualSystem>> CreateSessionView(
+      const SharedWorldView& world, const VisualOptions& options);
+
   std::string name() const override { return "VISUAL"; }
   Status RenderFrame(const Viewpoint& viewpoint, FrameResult* result) override;
   void ResetRuntime() override;
@@ -85,7 +125,10 @@ class VisualSystem : public WalkthroughSystem {
   void set_eta(double eta) { options_.eta = eta; }
   double eta() const { return options_.eta; }
 
-  const HdovTree& tree() const { return tree_; }
+  const HdovTree& tree() const { return *tree_; }
+  // The shared-ownership handle to the (immutable) tree, for building a
+  // SharedWorldView from a system that already loaded the world.
+  std::shared_ptr<const HdovTree> shared_tree() const { return tree_; }
   VisibilityStore* store() const { return store_.get(); }
   const ModelStore& models() const { return *models_; }
   SimClock& clock() { return clock_; }
@@ -126,7 +169,9 @@ class VisualSystem : public WalkthroughSystem {
   std::unique_ptr<PageDevice> store_device_;
   std::unique_ptr<PageDevice> model_device_;
   std::unique_ptr<ModelStore> models_;
-  HdovTree tree_;
+  // Immutable after the factory that built/loaded it returns; shared
+  // across session views, so nothing below this line may mutate it.
+  std::shared_ptr<const HdovTree> tree_;
   std::unique_ptr<VisibilityStore> store_;
   std::unique_ptr<HdovSearcher> searcher_;
   std::unique_ptr<BufferPool> tree_cache_;  // Only with tree_cache_pages.

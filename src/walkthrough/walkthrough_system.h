@@ -35,7 +35,12 @@ struct FrameResult {
 
   // Threshold-search decision counts (HDoV systems; zero elsewhere).
   SearchStats search;
-  // Tree-page buffer-pool hit rate this frame (0 when no pool is wired).
+  // Tree-page buffer-pool traffic this frame (0 when no pool is wired).
+  // The counts let aggregators weigh frames by their traffic instead of
+  // averaging per-frame ratios.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  // Hit rate over this frame's pool traffic (0 when no pool is wired).
   double cache_hit_rate = 0.0;
 };
 

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/crc32c.h"
@@ -105,6 +107,52 @@ TEST(FilePageDeviceTest, BillingMatchesMemoryDevice) {
   EXPECT_EQ(f.bytes_read, m.bytes_read);
   EXPECT_EQ(f.bytes_written, m.bytes_written);
   EXPECT_DOUBLE_EQ((*file)->clock().NowMillis(), memory.clock().NowMillis());
+  std::remove(path.c_str());
+}
+
+TEST(FilePageDeviceTest, ConcurrentRawReadsAreSafe) {
+  // Regression for the shared scratch buffer: FetchPage staged every read
+  // through one `mutable std::string`, so two threads on the const read
+  // path scribbled over each other's pages. Reads now use per-call
+  // buffers; run under TSan this must be race-free, and the content
+  // checks below catch cross-thread corruption anywhere.
+  const std::string path = TempPath("hdov_file_device_concurrent.bin");
+  constexpr int kPages = 16;
+  {
+    auto device = FilePageDevice::Create(path);
+    ASSERT_TRUE(device.ok()) << device.status().ToString();
+    for (int i = 0; i < kPages; ++i) {
+      PageId p = (*device)->Allocate();
+      ASSERT_TRUE(
+          (*device)->Write(p, "payload of page " + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*device)->Sync().ok());
+  }
+  auto device = FilePageDevice::Open(path);
+  ASSERT_TRUE(device.ok()) << device.status().ToString();
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::string data;
+      for (int i = 0; i < kIters; ++i) {
+        const int page = (t * 5 + i * 3) % kPages;
+        const std::string expected =
+            "payload of page " + std::to_string(page);
+        if (!(*device)->ReadRaw(page, &data).ok() ||
+            data.substr(0, expected.size()) != expected) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
   std::remove(path.c_str());
 }
 

@@ -3,11 +3,17 @@
 #include <fstream>
 #include <string>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
 #include "storage/model_store.h"
 #include "storage/page_device.h"
 #include "storage/paged_file.h"
+#include "storage/sharded_buffer_pool.h"
+#include "telemetry/metrics.h"
 
 namespace hdov {
 namespace {
@@ -431,6 +437,192 @@ TEST(PageDeviceTest, OutOfRangeAccessesLeaveCountersUntouched) {
   EXPECT_DOUBLE_EQ(device.clock().NowMillis(), 0.0);
   // A zero-length run is a no-op, not an error, wherever it starts.
   EXPECT_TRUE(device.ReadRun(p + 5, 0, nullptr).ok());
+}
+
+// ----------------------- buffer-pool telemetry lifetime (regressions)
+
+TEST(BufferPoolTest, DestructionDropsRegisteredViews) {
+  // The views capture &stats_; before the destructor unregistered them, a
+  // snapshot taken after the pool died read freed memory.
+  telemetry::MetricsRegistry registry;
+  PageDevice device;
+  PageId p = device.Allocate();
+  {
+    BufferPool pool(&device, 4);
+    ASSERT_TRUE(pool.Get(p).ok());
+    pool.RegisterWith(&registry, "pool");
+    EXPECT_TRUE(registry.Contains("pool.hits"));
+    EXPECT_TRUE(registry.Contains("pool.hit_rate"));
+  }
+  EXPECT_FALSE(registry.Contains("pool.hits"));
+  (void)registry.Snapshot();  // Under ASan: no freed stats left behind.
+}
+
+TEST(BufferPoolTest, ReRegisterMovesViews) {
+  telemetry::MetricsRegistry first, second;
+  PageDevice device;
+  BufferPool pool(&device, 4);
+  pool.RegisterWith(&first, "a");
+  EXPECT_TRUE(first.Contains("a.hits"));
+  pool.RegisterWith(&second, "b");
+  EXPECT_FALSE(first.Contains("a.hits"));
+  EXPECT_TRUE(second.Contains("b.hits"));
+  // Explicit unregistration, for pools that outlive their registry.
+  pool.UnregisterViews();
+  pool.UnregisterViews();  // Idempotent.
+  EXPECT_FALSE(second.Contains("b.hits"));
+}
+
+TEST(BufferPoolTest, FlightRetargetRacesWithGets) {
+  // Regression for the plain-field data race: RegisterWith stores the
+  // flight code while the Get path reads it for every hit/miss event.
+  // Run under TSan; the code is atomic now, so this must be clean.
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "raced").ok());
+  BufferPool pool(&device, 4);
+  telemetry::MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(pool.Get(p).ok());
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    pool.RegisterWith(&registry, i % 2 == 0 ? "pool.even" : "pool.odd");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  pool.UnregisterViews();
+}
+
+// -------------------------------------------------- sharded buffer pool
+
+TEST(ShardedBufferPoolTest, MissThenHitWithoutBilling) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "shard payload").ok());
+  device.ResetStats();
+
+  ShardedPoolOptions opt;
+  opt.capacity_pages = 8;
+  opt.shards = 4;
+  ShardedBufferPool pool(&device, opt);
+  auto first = pool.Get(p);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first)->substr(0, 13), "shard payload");
+  auto second = pool.Get(p);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // Same cached object.
+
+  BufferPoolStats stats = pool.TotalStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(pool.size(), 1u);
+  // The pool reads through the UNBILLED path: no simulated I/O at all.
+  EXPECT_EQ(device.stats().page_reads, 0u);
+}
+
+TEST(ShardedBufferPoolTest, EvictionKeepsShardsWithinCapacity) {
+  PageDevice device;
+  std::vector<PageId> pages;
+  for (int i = 0; i < 16; ++i) {
+    pages.push_back(device.Allocate());
+    std::string payload = "p";
+    payload.append(std::to_string(i));
+    ASSERT_TRUE(device.Write(pages.back(), payload).ok());
+  }
+  ShardedPoolOptions opt;
+  opt.capacity_pages = 4;
+  opt.shards = 2;
+  ShardedBufferPool pool(&device, opt);
+  for (PageId p : pages) {
+    ASSERT_TRUE(pool.Get(p).ok());
+  }
+  EXPECT_LE(pool.size(), opt.capacity_pages);
+  BufferPoolStats stats = pool.TotalStats();
+  EXPECT_EQ(stats.misses, 16u);
+  EXPECT_GE(stats.evictions, 12u);
+}
+
+TEST(ShardedBufferPoolTest, CapacityZeroReadsThrough) {
+  PageDevice device;
+  PageId p = device.Allocate();
+  ASSERT_TRUE(device.Write(p, "uncached").ok());
+  ShardedPoolOptions opt;
+  opt.capacity_pages = 0;
+  ShardedBufferPool pool(&device, opt);
+  auto a = pool.Get(p);
+  auto b = pool.Get(p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->substr(0, 8), "uncached");
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.TotalStats().hits, 0u);
+  EXPECT_EQ(pool.TotalStats().misses, 2u);
+}
+
+TEST(ShardedBufferPoolTest, EvictedPageStaysValidWhileHeld) {
+  // The shared_ptr IS the pin: eviction drops the pool's reference only.
+  PageDevice device;
+  PageId held_page = device.Allocate();
+  ASSERT_TRUE(device.Write(held_page, "held onto").ok());
+  std::vector<PageId> others;
+  for (int i = 0; i < 8; ++i) {
+    others.push_back(device.Allocate());
+  }
+  ShardedPoolOptions opt;
+  opt.capacity_pages = 1;
+  opt.shards = 1;
+  ShardedBufferPool pool(&device, opt);
+  auto held = pool.Get(held_page);
+  ASSERT_TRUE(held.ok());
+  for (PageId p : others) {
+    ASSERT_TRUE(pool.Get(p).ok());  // Each one evicts the previous.
+  }
+  EXPECT_EQ((*held)->substr(0, 9), "held onto");  // ASan-checked.
+}
+
+TEST(ShardedBufferPoolTest, ConcurrentGetsSeeConsistentPages) {
+  // The server's actual access pattern: many threads hammering one pool.
+  // Run under TSan; verifies contents and that no lookup is lost.
+  PageDevice device;
+  constexpr int kPages = 32;
+  std::vector<PageId> pages;
+  for (int i = 0; i < kPages; ++i) {
+    pages.push_back(device.Allocate());
+    ASSERT_TRUE(
+        device.Write(pages.back(), "page-" + std::to_string(i)).ok());
+  }
+  ShardedPoolOptions opt;
+  opt.capacity_pages = 8;  // Small: forces concurrent eviction too.
+  opt.shards = 4;
+  ShardedBufferPool pool(&device, opt);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int idx = (t * 13 + i * 7) % kPages;
+        auto page = pool.Get(pages[idx]);
+        if (!page.ok() ||
+            (*page)->substr(0, 5 + (idx >= 10 ? 2 : 1)) !=
+                "page-" + std::to_string(idx)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  BufferPoolStats stats = pool.TotalStats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
 }
 
 TEST(IoStatsTest, DeltaAndAccumulate) {

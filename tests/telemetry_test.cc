@@ -420,7 +420,9 @@ TEST(HistogramTest, SnapshotCarriesPercentiles) {
   for (int i = 1; i <= 100; ++i) {
     h->Observe(static_cast<double>(i));  // Uniform 1..100.
   }
-  const MetricSample* sample = m.Snapshot().Find("lat");
+  // Bind the snapshot so `sample` does not dangle into a temporary.
+  MetricsSnapshot snap = m.Snapshot();
+  const MetricSample* sample = snap.Find("lat");
   ASSERT_NE(sample, nullptr);
   EXPECT_NEAR(sample->p50, h->Quantile(0.50), 1e-9);
   EXPECT_NEAR(sample->p90, h->Quantile(0.90), 1e-9);

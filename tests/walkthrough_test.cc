@@ -707,5 +707,91 @@ TEST_F(WalkthroughFixture, VisualOutperformsReviewOnFrameTime) {
   EXPECT_LT(vis->max_resident_bytes, rev->max_resident_bytes);
 }
 
+// ------------------------------- session summary numerics (regressions)
+
+// Feeds a scripted frame sequence through PlaySession, so the aggregation
+// under test runs on the exact code path the benches use.
+class ScriptedSystem : public WalkthroughSystem {
+ public:
+  explicit ScriptedSystem(std::vector<FrameResult> frames)
+      : frames_(std::move(frames)) {}
+
+  std::string name() const override { return "SCRIPTED"; }
+  Status RenderFrame(const Viewpoint&, FrameResult* result) override {
+    *result = frames_[next_++ % frames_.size()];
+    return Status::OK();
+  }
+  void ResetRuntime() override { next_ = 0; }
+  const std::vector<RetrievedLod>& last_result() const override {
+    return empty_;
+  }
+  IoStats TotalIoStats() const override { return IoStats(); }
+  void ResetIoStats() override {}
+
+ private:
+  std::vector<FrameResult> frames_;
+  size_t next_ = 0;
+  std::vector<RetrievedLod> empty_;
+};
+
+Session BlankSession(size_t num_frames) {
+  Session session;
+  session.name = "scripted";
+  session.frames.resize(num_frames);
+  return session;
+}
+
+TEST(SessionAccumulatorTest, WelfordSurvivesLargeMeanSmallSpread) {
+  // Catastrophic-cancellation regression: with frame times of 1e8 ± 1 ms,
+  // E[x^2] sits at 1e16 where doubles step in units of 2 — the old
+  // E[x^2]-E[x]^2 variance lost every significant digit (0.0 or 2.0,
+  // depending on rounding). Welford's update keeps the true 1.0.
+  FrameResult low, high;
+  low.frame_time_ms = 1e8 - 1.0;
+  high.frame_time_ms = 1e8 + 1.0;
+  ScriptedSystem system({low, high});
+  Result<SessionSummary> summary =
+      PlaySession(&system, BlankSession(1000));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NEAR(summary->avg_frame_time_ms, 1e8, 1e-5);
+  EXPECT_NEAR(summary->var_frame_time, 1.0, 1e-6);
+}
+
+TEST(SessionAccumulatorTest, TwoSampleVarianceIsExact) {
+  SessionAccumulator acc;
+  FrameResult a, b;
+  a.frame_time_ms = 3.0;
+  b.frame_time_ms = 7.0;
+  acc.Add(a);
+  acc.Add(b);
+  SessionSummary summary;
+  acc.FinishInto(&summary);
+  EXPECT_DOUBLE_EQ(summary.avg_frame_time_ms, 5.0);
+  EXPECT_DOUBLE_EQ(summary.var_frame_time, 4.0);  // Population variance.
+}
+
+TEST(SessionAccumulatorTest, CacheHitRateIsRatioOfSums) {
+  // Skewed-traffic regression: a light frame at 50% and a heavy frame at
+  // 100% used to average to 75%; weighting by traffic gives 99/100.
+  FrameResult light, heavy;
+  light.cache_hits = 1;
+  light.cache_misses = 1;
+  light.cache_hit_rate = 0.5;
+  heavy.cache_hits = 98;
+  heavy.cache_misses = 0;
+  heavy.cache_hit_rate = 1.0;
+  ScriptedSystem system({light, heavy});
+  Result<SessionSummary> summary = PlaySession(&system, BlankSession(2));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_DOUBLE_EQ(summary->avg_cache_hit_rate, 0.99);
+}
+
+TEST(SessionAccumulatorTest, NoCacheTrafficReportsZeroHitRate) {
+  ScriptedSystem system({FrameResult()});
+  Result<SessionSummary> summary = PlaySession(&system, BlankSession(5));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_DOUBLE_EQ(summary->avg_cache_hit_rate, 0.0);
+}
+
 }  // namespace
 }  // namespace hdov
