@@ -229,6 +229,18 @@ int Run(const BenchArgs& args) {
        SeriesTable::Col{"frames/s", 10, 1, /*wall=*/true},
        SeriesTable::Col{"p95 ms", 9, 3, /*wall=*/true},
        SeriesTable::Col{"hit %", 7, 1, /*wall=*/true}});
+  // Scheduler latency attribution: where each frame's wall time went —
+  // waiting in the round queue vs executing. Every column is wall-clock
+  // (real time, tolerant comparison); the series name carries ".wall."
+  // so refreshed baselines treat its values the same way.
+  SeriesTable latency_table(
+      telemetry.report(), "fig12.server.wall.latency", "users", 8,
+      {SeriesTable::Col{"q p50 ms", 10, 3, /*wall=*/true},
+       SeriesTable::Col{"q p95 ms", 10, 3, /*wall=*/true},
+       SeriesTable::Col{"q p99 ms", 10, 3, /*wall=*/true},
+       SeriesTable::Col{"s p50 ms", 10, 3, /*wall=*/true},
+       SeriesTable::Col{"s p95 ms", 10, 3, /*wall=*/true},
+       SeriesTable::Col{"s p99 ms", 10, 3, /*wall=*/true}});
   for (size_t n : user_counts) {
     const std::vector<Session> users = MakeUserSessions(
         n, bed.scene.bounds(), server_sopt, /*clustered=*/false);
@@ -248,12 +260,30 @@ int Run(const BenchArgs& args) {
          secs > 0.0 ? static_cast<double>(digest.stats.total_frames) / secs
                     : 0.0,
          digest.p95_wall_ms, digest.cache_hit_pct});
+    std::vector<double> queues;
+    std::vector<double> services;
+    for (const ServerSessionRecord& record : digest.stats.sessions) {
+      queues.insert(queues.end(), record.frame_queue_wait_ms.begin(),
+                    record.frame_queue_wait_ms.end());
+      services.insert(services.end(), record.frame_wall_ms.begin(),
+                      record.frame_wall_ms.end());
+    }
+    latency_table.Row(std::to_string(n),
+                      {WallPercentile(queues, 0.50),
+                       WallPercentile(queues, 0.95),
+                       WallPercentile(queues, 0.99),
+                       WallPercentile(services, 0.50),
+                       WallPercentile(services, 0.95),
+                       WallPercentile(services, 0.99)});
     // Roll the largest fleet's per-session summaries (and the scheduler
     // counters) into the metrics registry — all deterministic values, so
-    // they ride the zero-tolerance comparison path.
+    // they ride the zero-tolerance comparison path. The wall-latency
+    // gauges land under server.wall.* and get the tolerant path.
     if (n == user_counts.back() && telemetry.on()) {
       WalkthroughServer::RollupInto(digest.stats,
                                     &telemetry.get()->metrics(), "server");
+      WalkthroughServer::RollupWallLatencyInto(
+          digest.stats, &telemetry.get()->metrics(), "server");
     }
   }
 

@@ -15,6 +15,10 @@
 //                           full span tree (default 1 = every query);
 //   --flight-out=<path>     drain the always-on flight recorder into a
 //                           binary dump (see docs/telemetry.md);
+//   --slowdump-out=<path>   write the slow-frame captures ("HDOVSLOW",
+//                           inspect with hdov_inspect --slowdump);
+//   --slowdump-threshold-ms=F  also capture any frame slower than F ms
+//                           (on top of the default trailing-p99 trigger);
 //   --metrics-every=N       export a Prometheus-text metrics sample every
 //                           N recorded frames (plus one final sample);
 //   --metrics-out=<path>    destination of the --metrics-every log
@@ -48,7 +52,9 @@
 #include "telemetry/bench_report.h"
 #include "telemetry/exposition.h"
 #include "telemetry/flight_recorder.h"
+#include "telemetry/slow_frame.h"
 #include "telemetry/telemetry.h"
+#include "testbed/testbed_glue.h"
 #include "visibility/precompute.h"
 #include "walkthrough/experiment_testbed.h"
 #include "walkthrough/visual_system.h"
@@ -62,9 +68,31 @@ namespace hdov::bench {
 
 using telemetry::WallTimer;
 
-inline bool LargeScale() {
-  const char* scale = std::getenv("HDOV_BENCH_SCALE");
-  return scale != nullptr && std::strcmp(scale, "large") == 0;
+// The world-construction glue itself lives in testbed/testbed_glue.h (a
+// non-bench target, so tools and the serving layer can share it); these
+// aliases keep the historical bench spellings working.
+using testbed::LargeScale;
+using testbed::DefaultTestbedOptions;
+using testbed::DefaultVisualOptions;
+using testbed::MakeVisualSystem;
+using testbed::RandomViewpoints;
+using testbed::PrintTestbedSummary;
+using testbed::MB;
+
+// The parsed --threads value, readable from DefaultTestbedOptions and
+// DefaultVisualOptions so every bench gets the flag without per-bench
+// plumbing.
+inline uint32_t& BenchThreads() { return testbed::DefaultThreads(); }
+
+// The parsed --db value; when non-empty, BuildTestbed and MakeVisualSystem
+// load the world from that snapshot instead of rebuilding it.
+inline std::string& BenchDbPath() { return testbed::DefaultDbPath(); }
+
+// Builds the default experiment environment — or, with --db, loads it
+// from the snapshot — aborting on error.
+inline Testbed BuildTestbed(const TestbedOptions& opt,
+                            telemetry::BenchReport* report = nullptr) {
+  return testbed::BuildTestbedOrDie(opt, report);
 }
 
 struct BenchArgs {
@@ -72,30 +100,14 @@ struct BenchArgs {
   std::string json_out;       // Empty = bench report not written.
   std::string trace_out;      // Empty = span recording stays off.
   std::string flight_out;     // Empty = flight recorder not dumped.
+  std::string slowdump_out;   // Empty = slow-frame captures not written.
   std::string metrics_out = "metrics.prom";  // --metrics-every target.
   std::string db_path;        // Empty = build the world from scratch.
+  double slowdump_threshold_ms = 0.0;  // Absolute trigger; 0 = p99 only.
   uint32_t threads = 1;       // Precompute/build workers (0 = hardware).
   uint32_t metrics_every = 0; // 0 = periodic exposition export off.
   uint32_t trace_sample = 1;  // Span tree for 1-in-N queries.
 };
-
-// The parsed --threads value, readable from DefaultTestbedOptions and
-// DefaultVisualOptions so every bench gets the flag without per-bench
-// plumbing. Thread count never changes any simulated number — only
-// build wall-clock — so the figures are unaffected.
-inline uint32_t& BenchThreads() {
-  static uint32_t threads = 1;
-  return threads;
-}
-
-// The parsed --db value; when non-empty, BuildTestbed and MakeVisualSystem
-// load the world from that snapshot instead of rebuilding it. Loading
-// changes only wall-clock: the loaded world answers queries with the same
-// results and simulated counters as a fresh build.
-inline std::string& BenchDbPath() {
-  static std::string path;
-  return path;
-}
 
 // Parses the flags shared by every experiment binary. Unknown flags abort
 // so a typo does not silently run without its effect.
@@ -106,6 +118,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kTraceOut[] = "--trace-out=";
   constexpr const char kTraceSample[] = "--trace-sample=";
   constexpr const char kFlightOut[] = "--flight-out=";
+  constexpr const char kSlowdumpOut[] = "--slowdump-out=";
+  constexpr const char kSlowdumpThreshold[] = "--slowdump-threshold-ms=";
   constexpr const char kMetricsEvery[] = "--metrics-every=";
   constexpr const char kMetricsOut[] = "--metrics-out=";
   constexpr const char kDb[] = "--db=";
@@ -145,6 +159,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
                   &args.trace_out) ||
         path_flag(argv[i], kFlightOut, sizeof(kFlightOut) - 1,
                   &args.flight_out) ||
+        path_flag(argv[i], kSlowdumpOut, sizeof(kSlowdumpOut) - 1,
+                  &args.slowdump_out) ||
         path_flag(argv[i], kMetricsOut, sizeof(kMetricsOut) - 1,
                   &args.metrics_out) ||
         path_flag(argv[i], kDb, sizeof(kDb) - 1, &args.db_path)) {
@@ -155,6 +171,19 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
                    &args.trace_sample) ||
         count_flag(argv[i], kMetricsEvery, sizeof(kMetricsEvery) - 1,
                    &args.metrics_every)) {
+      continue;
+    }
+    if (std::strncmp(argv[i], kSlowdumpThreshold,
+                     sizeof(kSlowdumpThreshold) - 1) == 0) {
+      char* end = nullptr;
+      const char* value = argv[i] + sizeof(kSlowdumpThreshold) - 1;
+      const double parsed = std::strtod(value, &end);
+      if (end == value || *end != '\0' || parsed < 0.0) {
+        std::fprintf(stderr, "%s needs a non-negative number\n",
+                     kSlowdumpThreshold);
+        std::exit(2);
+      }
+      args.slowdump_threshold_ms = parsed;
       continue;
     }
     if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
@@ -170,10 +199,11 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: %s<path>, %s<path>,"
-                   " %s<path>, %sN, %s<path>, %sN, %s<path>, %s<path>,"
-                   " %sN)\n",
+                   " %s<path>, %sN, %s<path>, %s<path>, %sF, %sN, %s<path>,"
+                   " %s<path>, %sN)\n",
                    argv[i], kTelemetryOut, kJsonOut, kTraceOut, kTraceSample,
-                   kFlightOut, kMetricsEvery, kMetricsOut, kDb, kThreads);
+                   kFlightOut, kSlowdumpOut, kSlowdumpThreshold,
+                   kMetricsEvery, kMetricsOut, kDb, kThreads);
       std::exit(2);
     }
   }
@@ -197,7 +227,15 @@ class TelemetryScope {
         json_out_(args.json_out),
         trace_out_(args.trace_out),
         flight_out_(args.flight_out),
+        slowdump_out_(args.slowdump_out),
         metrics_every_(args.metrics_every) {
+    if (!slowdump_out_.empty()) {
+      // Fresh capture window for this run; the default trailing-p99
+      // trigger stays on and an absolute threshold composes with it.
+      telemetry::SlowFrameOptions slow;
+      slow.threshold_ms = args.slowdump_threshold_ms;
+      telemetry::GlobalSlowFrameCapture().Configure(slow);
+    }
     if (!telemetry_out_.empty() || !json_out_.empty() ||
         !trace_out_.empty() || metrics_every_ > 0) {
       telemetry_ = std::make_unique<telemetry::Telemetry>();
@@ -325,6 +363,26 @@ class TelemetryScope {
                         recorder.events_recorded()),
                     static_cast<unsigned long long>(
                         recorder.events_dropped()));
+        if (telemetry::FlightNamesDropped() > 0) {
+          std::printf("flight: WARNING %llu intern calls degraded to \"?\""
+                      " (name table full at %zu)\n",
+                      static_cast<unsigned long long>(
+                          telemetry::FlightNamesDropped()),
+                      telemetry::kMaxFlightNames);
+        }
+      }
+    }
+    if (!slowdump_out_.empty()) {
+      telemetry::SlowFrameCapture& capture =
+          telemetry::GlobalSlowFrameCapture();
+      if (Status s = capture.WriteDump(slowdump_out_); !s.ok()) {
+        std::fprintf(stderr, "slowdump: %s\n", s.ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("\nslowdump: wrote %s (%zu captures over %llu frames;"
+                    " inspect with hdov_inspect --slowdump)\n",
+                    slowdump_out_.c_str(), capture.captures(),
+                    static_cast<unsigned long long>(capture.frames_seen()));
       }
     }
     return ok;
@@ -335,6 +393,7 @@ class TelemetryScope {
   std::string json_out_;
   std::string trace_out_;
   std::string flight_out_;
+  std::string slowdump_out_;
   uint32_t metrics_every_ = 0;
   uint64_t frames_seen_ = 0;
   std::unique_ptr<telemetry::ExpositionLog> metrics_log_;
@@ -400,91 +459,6 @@ class SeriesTable {
   int label_width_;
   std::vector<Col> cols_;
 };
-
-// TestbedOptions / Testbed / the builders live in
-// walkthrough/experiment_testbed.h so tools/hdov_build constructs the
-// identical world; these wrappers add the bench defaults (scale knob,
-// --threads, --db) and the benches' abort-on-error convention.
-
-inline TestbedOptions DefaultTestbedOptions() {
-  TestbedOptions opt;
-  opt.threads = BenchThreads();
-  if (LargeScale()) {
-    opt.blocks = 20;
-    opt.cells = 24;
-    opt.samples_per_cell = 5;
-  }
-  return opt;
-}
-
-// Builds the default experiment environment — or, with --db, loads it from
-// the snapshot — aborting on error (benchmarks have no meaningful recovery
-// path). When `report` is given, the wall-clock is recorded under the
-// "testbed.build" (or "testbed.load") timing.
-inline Testbed BuildTestbed(const TestbedOptions& opt,
-                            telemetry::BenchReport* report = nullptr) {
-  WallTimer timer;
-  Result<Testbed> bed = [&]() -> Result<Testbed> {
-    if (BenchDbPath().empty()) {
-      return hdov::BuildTestbed(opt);
-    }
-    HDOV_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotLoader> snapshot,
-                          SnapshotLoader::Open(BenchDbPath()));
-    return LoadWorldSections(*snapshot);
-  }();
-  if (!bed.ok()) {
-    std::fprintf(stderr, "testbed: %s\n", bed.status().ToString().c_str());
-    std::abort();
-  }
-  if (report != nullptr) {
-    report->RecordTiming(
-        BenchDbPath().empty() ? "testbed.build" : "testbed.load",
-        timer.ElapsedMs());
-  }
-  return std::move(*bed);
-}
-
-inline VisualOptions DefaultVisualOptions() {
-  return hdov::DefaultVisualOptions(BenchThreads());
-}
-
-// VisualSystem::Create over the testbed — or CreateFromSnapshot when --db
-// was given, skipping the tree/store/model build entirely. `bed` must be
-// the testbed returned by BuildTestbed (with --db, the snapshot's own
-// world), and must outlive the system.
-inline Result<std::unique_ptr<VisualSystem>> MakeVisualSystem(
-    const Testbed& bed, const VisualOptions& options) {
-  if (BenchDbPath().empty()) {
-    return VisualSystem::Create(&bed.scene, &bed.grid, &bed.table, options);
-  }
-  HDOV_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotLoader> snapshot,
-                        SnapshotLoader::Open(BenchDbPath()));
-  return VisualSystem::CreateFromSnapshot(*snapshot, &bed.scene, &bed.grid,
-                                          options);
-}
-
-// `count` random query viewpoints at eye height inside the world bounds.
-inline std::vector<Vec3> RandomViewpoints(const Aabb& bounds, size_t count,
-                                          uint64_t seed) {
-  Rng rng(seed);
-  std::vector<Vec3> points;
-  points.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    points.emplace_back(rng.Uniform(bounds.min.x, bounds.max.x),
-                        rng.Uniform(bounds.min.y, bounds.max.y), 1.7);
-  }
-  return points;
-}
-
-inline void PrintTestbedSummary(const Testbed& bed) {
-  std::printf("testbed: %s | %u cells | avg %.1f visible objects/cell\n\n",
-              bed.scene.Summary().c_str(), bed.grid.num_cells(),
-              bed.table.AverageVisibleObjects());
-}
-
-inline double MB(uint64_t bytes) {
-  return static_cast<double>(bytes) / (1024.0 * 1024.0);
-}
 
 }  // namespace hdov::bench
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/trace_context.h"
+
 namespace hdov {
 
 void PrioritizeRetrieval(const Frustum& frustum, const HdovTree& tree,
@@ -50,6 +52,9 @@ Status HdovSearcher::Search(VisibilityStore* store, CellId cell,
   result->clear();
   SearchStats local_stats;
   last_node_page_ = kInvalidPage;  // The buffer does not persist queries.
+  // Every page read / pool hit below this point is attributed to the
+  // search stage of whichever session the thread is serving.
+  telemetry::StageTraceScope stage(telemetry::TraceStage::kSearch);
   telemetry::ScopedSpan span(options.trace, "search");
   span.Attr("cell", static_cast<double>(cell));
   span.Attr("eta", options.eta);

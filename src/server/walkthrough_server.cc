@@ -9,6 +9,7 @@
 #include "hdov/builder.h"
 #include "persist/world_codec.h"
 #include "server/session_device.h"
+#include "telemetry/slow_frame.h"
 
 namespace hdov {
 
@@ -132,7 +133,10 @@ Result<ServerRunStats> WalkthroughServer::Play() {
     std::unique_ptr<VisualSystem> system;
     size_t next_frame = 0;
     SessionAccumulator acc;
+    uint16_t flight_code = 0;  // Interned session name, for attribution.
     std::vector<double> frame_wall_ms;
+    std::vector<double> frame_queue_wait_ms;
+    telemetry::StageBreakdown stage_totals;
     Status status;  // First frame error, if any.
   };
   std::vector<Runner> runners(sessions_.size());
@@ -141,8 +145,11 @@ Result<ServerRunStats> WalkthroughServer::Play() {
     HDOV_ASSIGN_OR_RETURN(runners[i].system,
                           VisualSystem::CreateSessionView(world_,
                                                           options_.visual));
+    runners[i].flight_code = telemetry::FlightInternName(sessions_[i].name);
     runners[i].frame_wall_ms.reserve(sessions_[i].frames.size());
+    runners[i].frame_queue_wait_ms.reserve(sessions_[i].frames.size());
   }
+  telemetry::SlowFrameCapture& slow = telemetry::GlobalSlowFrameCapture();
 
   const BufferPoolStats store_cache0 =
       store_pool_ != nullptr ? store_pool_->TotalStats() : BufferPoolStats();
@@ -190,19 +197,41 @@ Result<ServerRunStats> WalkthroughServer::Play() {
 
     // One task per group: members render back-to-back on one worker, so
     // the first miss on a shared V-page warms the cache for the rest.
+    // Every frame of the round shares one enqueue timestamp (the round's
+    // frames all become runnable here); dispatch is when a worker
+    // actually reaches the frame, so queue wait covers both pool
+    // scheduling delay and time spent behind earlier group members.
+    const uint64_t enqueue_ns = telemetry::FlightNowNs();
     pool.ParallelFor(groups.size(), [&](size_t slot, size_t g) {
       (void)slot;
       for (size_t idx : groups[g]) {
         Runner& r = runners[idx];
         const Viewpoint& vp = r.session->frames[r.next_frame];
         FrameResult frame;
-        const auto t0 = std::chrono::steady_clock::now();
-        Status status = r.system->RenderFrame(vp, &frame);
+        Status status;
+        telemetry::FrameStageRecord record;
+        record.start_ns = telemetry::FlightNowNs();  // Dispatch.
+        {
+          telemetry::SessionTraceScope trace(r.flight_code, r.next_frame);
+          telemetry::BeginStageAccounting();
+          status = r.system->RenderFrame(vp, &frame);
+          record.wall_ns = telemetry::FlightNowNs() - record.start_ns;
+          record.stages = telemetry::FinishStageAccounting();
+        }
         if (!status.ok()) {
           r.status = status;
           return;
         }
-        r.frame_wall_ms.push_back(WallMillisSince(t0));
+        record.session = r.flight_code;
+        record.frame = r.next_frame;
+        record.queue_ns = record.start_ns - enqueue_ns;
+        record.io_pages = frame.io_pages;
+        slow.OnFrame(record);
+        r.frame_wall_ms.push_back(record.wall_ns / 1e6);
+        r.frame_queue_wait_ms.push_back(record.queue_ns / 1e6);
+        for (size_t s = 0; s < telemetry::kNumTraceStages; ++s) {
+          r.stage_totals.ns[s] += record.stages.ns[s];
+        }
         r.acc.Add(frame);
         ++r.next_frame;
       }
@@ -224,6 +253,8 @@ Result<ServerRunStats> WalkthroughServer::Play() {
     record.io = r.system->TotalIoStats();
     record.sim_clock_ms = r.system->clock().NowMillis();
     record.frame_wall_ms = std::move(r.frame_wall_ms);
+    record.frame_queue_wait_ms = std::move(r.frame_queue_wait_ms);
+    record.stage_totals = r.stage_totals;
     stats.total_frames += record.summary.num_frames;
     stats.sessions.push_back(std::move(record));
   }
@@ -264,6 +295,61 @@ void WalkthroughServer::RollupInto(const ServerRunStats& stats,
       ->Set(static_cast<double>(stats.batch_groups));
   registry->GetGauge(prefix + ".batched_frames")
       ->Set(static_cast<double>(stats.batched_frames));
+}
+
+double WallPercentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const size_t k = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5));
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
+
+namespace {
+
+void SetLatencyGauges(telemetry::MetricsRegistry* registry,
+                      const std::string& base,
+                      std::vector<double> values) {
+  registry->GetGauge(base + ".p50")->Set(WallPercentile(values, 0.50));
+  registry->GetGauge(base + ".p95")->Set(WallPercentile(values, 0.95));
+  registry->GetGauge(base + ".p99")
+      ->Set(WallPercentile(std::move(values), 0.99));
+}
+
+}  // namespace
+
+void WalkthroughServer::RollupWallLatencyInto(
+    const ServerRunStats& stats, telemetry::MetricsRegistry* registry,
+    const std::string& prefix) {
+  std::vector<double> all_queue;
+  std::vector<double> all_service;
+  for (const ServerSessionRecord& record : stats.sessions) {
+    const std::string base =
+        prefix + ".wall.session." + record.summary.session_name;
+    SetLatencyGauges(registry, base + ".queue_ms",
+                     record.frame_queue_wait_ms);
+    SetLatencyGauges(registry, base + ".service_ms", record.frame_wall_ms);
+    for (size_t s = 0; s < telemetry::kNumTraceStages; ++s) {
+      registry
+          ->GetGauge(base + ".stage." +
+                     std::string(telemetry::TraceStageName(
+                         static_cast<telemetry::TraceStage>(s))) +
+                     "_ms")
+          ->Set(record.stage_totals.ns[s] / 1e6);
+    }
+    all_queue.insert(all_queue.end(), record.frame_queue_wait_ms.begin(),
+                     record.frame_queue_wait_ms.end());
+    all_service.insert(all_service.end(), record.frame_wall_ms.begin(),
+                       record.frame_wall_ms.end());
+  }
+  SetLatencyGauges(registry, prefix + ".wall.queue_ms",
+                   std::move(all_queue));
+  SetLatencyGauges(registry, prefix + ".wall.service_ms",
+                   std::move(all_service));
 }
 
 }  // namespace hdov

@@ -33,6 +33,7 @@
 #include "scene/cell_grid.h"
 #include "scene/session.h"
 #include "storage/sharded_buffer_pool.h"
+#include "telemetry/trace_context.h"
 #include "walkthrough/frame_loop.h"
 #include "walkthrough/visual_system.h"
 
@@ -60,7 +61,14 @@ struct ServerSessionRecord {
   SessionSummary summary;
   IoStats io;               // The session's total simulated I/O.
   double sim_clock_ms = 0.0;
-  std::vector<double> frame_wall_ms;  // Real latency of each frame.
+  // Real scheduler latency of each frame, split at the dispatch point:
+  // queue wait is enqueue (round formation) to dispatch (a worker picks
+  // the frame up), service is dispatch to completion.
+  std::vector<double> frame_wall_ms;        // Service time per frame.
+  std::vector<double> frame_queue_wait_ms;  // Queue wait per frame.
+  // Where the session's total service time went, stage by stage
+  // (exclusive wall-clock ns; see telemetry/trace_context.h).
+  telemetry::StageBreakdown stage_totals;
 };
 
 struct ServerRunStats {
@@ -110,6 +118,16 @@ class WalkthroughServer {
                          telemetry::MetricsRegistry* registry,
                          const std::string& prefix);
 
+  // Writes the wall-clock latency aggregates into `registry` as gauges
+  // under `<prefix>.wall.`: per-session and fleet-wide p50/p95/p99 of
+  // queue wait and service time, plus per-session stage totals. Every
+  // name contains ".wall.", which the bench comparator matches with a
+  // tolerance instead of exactly (and skips entirely under
+  // --ignore-wall) — keep that marker if you add gauges here.
+  static void RollupWallLatencyInto(const ServerRunStats& stats,
+                                    telemetry::MetricsRegistry* registry,
+                                    const std::string& prefix);
+
  private:
   explicit WalkthroughServer(const ServerOptions& options)
       : options_(options) {}
@@ -138,6 +156,13 @@ class WalkthroughServer {
   SharedWorldView world_;
   std::vector<Session> sessions_;
 };
+
+// Nearest-rank percentile (q in [0,1]) of `values`, in the same unit the
+// values came in. Not an interpolating estimator: with few samples it
+// returns an actual observed value, which is what latency reporting
+// wants. Returns 0 for an empty vector. Shared by the wall rollup above
+// and the fig12 latency series.
+double WallPercentile(std::vector<double> values, double q);
 
 }  // namespace hdov
 

@@ -17,11 +17,16 @@ Result<BufferPool::PageRef> BufferPool::Get(PageId page) {
   }
 
   ++stats_.misses;
+  auto entry = std::make_unique<Entry>();
+  // The miss event is recorded after the fill so it can carry the fill's
+  // wall time (b, in ns) — the number a slow-frame capture needs to tell
+  // a cheap miss from a stalled one.
+  const uint64_t fill_start_ns = telemetry::FlightNowNs();
+  HDOV_RETURN_IF_ERROR(device_->Read(page, &entry->data));
   telemetry::GlobalFlightRecorder().Record(
       telemetry::FlightEventType::kPoolMiss,
-      flight_code_.load(std::memory_order_relaxed), page, 0);
-  auto entry = std::make_unique<Entry>();
-  HDOV_RETURN_IF_ERROR(device_->Read(page, &entry->data));
+      flight_code_.load(std::memory_order_relaxed), page,
+      telemetry::FlightNowNs() - fill_start_ns);
 
   lru_.push_front(page);
   entry->lru_it = lru_.begin();

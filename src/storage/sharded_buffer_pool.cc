@@ -31,14 +31,17 @@ Result<std::shared_ptr<const std::string>> ShardedBufferPool::Get(
     }
     ++shard.stats.misses;
   }
-  telemetry::GlobalFlightRecorder().Record(
-      telemetry::FlightEventType::kPoolMiss, flight_code_, page, 0);
 
   // Device read outside the lock: concurrent misses on one page may each
   // read it (the page is immutable, so all copies are identical); the
-  // insert below re-checks so the shard keeps a single entry.
+  // insert below re-checks so the shard keeps a single entry. The miss
+  // event is recorded after the fill so b carries the fill wall-ns.
   auto data = std::make_shared<std::string>();
+  const uint64_t fill_start_ns = telemetry::FlightNowNs();
   HDOV_RETURN_IF_ERROR(base_->ReadRaw(page, data.get()));
+  telemetry::GlobalFlightRecorder().Record(
+      telemetry::FlightEventType::kPoolMiss, flight_code_, page,
+      telemetry::FlightNowNs() - fill_start_ns);
   std::shared_ptr<const std::string> frozen = std::move(data);
 
   if (capacity_ == 0) {

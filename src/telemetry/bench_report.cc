@@ -396,6 +396,10 @@ class Comparator {
                     *name + ": present in baseline, missing in new run");
         continue;
       }
+      // Metrics whose name carries the ".wall." marker hold wall-clock
+      // values (e.g. the server's queue/service latency gauges): numeric
+      // members get the tolerance check, everything else stays exact.
+      const bool is_wall = name->find(".wall.") != std::string::npos;
       for (const auto& [key, old_value] : old_m.members) {
         if (key == "name") {
           continue;
@@ -406,7 +410,12 @@ class Comparator {
                       *name + "." + key + ": field missing in new run");
           continue;
         }
-        CheckExact("metrics", *name + "." + key, old_value, *new_value);
+        if (is_wall && old_value.is_number() && new_value->is_number()) {
+          CheckWall("metrics", *name + "." + key, old_value.number,
+                    new_value->number);
+        } else {
+          CheckExact("metrics", *name + "." + key, old_value, *new_value);
+        }
       }
     }
     for (const JsonValue& new_m : new_metrics->items) {

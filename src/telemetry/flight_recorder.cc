@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "telemetry/json.h"
+#include "telemetry/trace_context.h"
 
 namespace hdov::telemetry {
 
@@ -51,6 +52,11 @@ struct NameTable {
   std::mutex mu;                 // Insertions only.
   std::array<std::string, kMaxFlightNames> names;
   std::atomic<size_t> count{1};  // names[0] is the reserved "?".
+  // Intern calls refused because the table was full. Counted per call,
+  // not per distinct name (distinct overflow names are unbounded): hot
+  // paths cache their id, so a steady rate here means live code is
+  // repeatedly degrading to "?".
+  std::atomic<uint64_t> dropped{0};
   NameTable() { names[0] = "?"; }
 };
 
@@ -86,7 +92,9 @@ uint16_t FlightInternName(std::string_view name) {
     }
   }
   if (count >= kMaxFlightNames) {
-    return 0;  // Table full: degrade to the "?" code, never fail.
+    // Table full: degrade to the "?" code, never fail — but loudly.
+    table.dropped.fetch_add(1, std::memory_order_relaxed);
+    return 0;
   }
   table.names[count].assign(name);
   table.count.store(count + 1, std::memory_order_release);
@@ -103,6 +111,10 @@ std::string_view FlightNameForId(uint16_t id) {
 
 size_t FlightNameCount() {
   return GlobalNames().count.load(std::memory_order_acquire);
+}
+
+uint64_t FlightNamesDropped() {
+  return GlobalNames().dropped.load(std::memory_order_relaxed);
 }
 
 namespace {
@@ -145,12 +157,17 @@ void FlightRecorder::Record(FlightEventType type, uint16_t code, uint64_t a,
     return;
   }
   Buffer* buf = LocalBuffer();
+  // Stamp the thread's ambient session + stage so the event is
+  // attributable without widening any hook signature.
+  const TraceContext& ctx = CurrentTraceContext();
   const uint64_t idx = buf->head.load(std::memory_order_relaxed);
   Slot& slot = buf->ring[idx & (capacity_ - 1)];
   slot.w[0].store(FlightNowNs(), std::memory_order_relaxed);
   slot.w[1].store(static_cast<uint64_t>(type) |
+                      (static_cast<uint64_t>(ctx.stage) << 8) |
                       (static_cast<uint64_t>(code) << 16) |
-                      (static_cast<uint64_t>(buf->id) << 32),
+                      (static_cast<uint64_t>(ctx.session) << 32) |
+                      (static_cast<uint64_t>(buf->id & 0xffff) << 48),
                   std::memory_order_relaxed);
   slot.w[2].store(a, std::memory_order_relaxed);
   slot.w[3].store(b, std::memory_order_relaxed);
@@ -212,9 +229,11 @@ FlightDump FlightRecorder::Drain(bool consume) {
       FlightEvent ev;
       ev.ts_ns = slot.w[0].load(std::memory_order_relaxed);
       const uint64_t meta = slot.w[1].load(std::memory_order_relaxed);
-      ev.type = static_cast<uint16_t>(meta & 0xffff);
+      ev.type = static_cast<uint8_t>(meta & 0xff);
+      ev.stage = static_cast<uint8_t>((meta >> 8) & 0xff);
       ev.code = static_cast<uint16_t>((meta >> 16) & 0xffff);
-      ev.thread = static_cast<uint32_t>(meta >> 32);
+      ev.session = static_cast<uint16_t>((meta >> 32) & 0xffff);
+      ev.thread = static_cast<uint16_t>(meta >> 48);
       ev.a = slot.w[2].load(std::memory_order_relaxed);
       ev.b = slot.w[3].load(std::memory_order_relaxed);
       pending.push_back(Pending{idx, ev});
@@ -246,15 +265,22 @@ FlightDump FlightRecorder::Drain(bool consume) {
   for (size_t i = 0; i < names; ++i) {
     dump.names.emplace_back(FlightNameForId(static_cast<uint16_t>(i)));
   }
+  dump.names_dropped = FlightNamesDropped();
   return dump;
 }
 
 // ---------------------------------------------------------------------
 // Dump container: "HDOVFREC" magic, version, name table, packed events.
+// v1: header {names, events, dropped}; event meta packs
+//     type(16) | code(16) | thread(32).
+// v2: header gains names_dropped; event meta packs
+//     type(8) | stage(8) | code(16) | session(16) | thread(16).
+// The reader accepts both; v1 events decode with session/stage zero
+// (old dumps predate attribution).
 
 namespace {
 constexpr char kFlightMagic[8] = {'H', 'D', 'O', 'V', 'F', 'R', 'E', 'C'};
-constexpr uint32_t kFlightVersion = 1;
+constexpr uint32_t kFlightVersion = 2;
 }  // namespace
 
 std::string EncodeFlightDump(const FlightDump& dump) {
@@ -264,6 +290,7 @@ std::string EncodeFlightDump(const FlightDump& dump) {
   EncodeFixed32(&out, static_cast<uint32_t>(dump.names.size()));
   EncodeFixed64(&out, dump.events.size());
   EncodeFixed64(&out, dump.dropped);
+  EncodeFixed64(&out, dump.names_dropped);
   for (const std::string& name : dump.names) {
     EncodeFixed32(&out, static_cast<uint32_t>(name.size()));
     out.append(name);
@@ -271,8 +298,10 @@ std::string EncodeFlightDump(const FlightDump& dump) {
   for (const FlightEvent& ev : dump.events) {
     EncodeFixed64(&out, ev.ts_ns);
     EncodeFixed64(&out, static_cast<uint64_t>(ev.type) |
+                            (static_cast<uint64_t>(ev.stage) << 8) |
                             (static_cast<uint64_t>(ev.code) << 16) |
-                            (static_cast<uint64_t>(ev.thread) << 32));
+                            (static_cast<uint64_t>(ev.session) << 32) |
+                            (static_cast<uint64_t>(ev.thread) << 48));
     EncodeFixed64(&out, ev.a);
     EncodeFixed64(&out, ev.b);
   }
@@ -293,13 +322,16 @@ Result<FlightDump> DecodeFlightDump(std::string_view data) {
   uint64_t event_count = 0;
   FlightDump dump;
   HDOV_RETURN_IF_ERROR(dec.DecodeFixed32(&version));
-  if (version != kFlightVersion) {
+  if (version < 1 || version > kFlightVersion) {
     return Status::Corruption("flight dump: unsupported version " +
                               std::to_string(version));
   }
   HDOV_RETURN_IF_ERROR(dec.DecodeFixed32(&name_count));
   HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&event_count));
   HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&dump.dropped));
+  if (version >= 2) {
+    HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&dump.names_dropped));
+  }
   if (name_count > kMaxFlightNames) {
     return Status::Corruption("flight dump: name table too large");
   }
@@ -324,9 +356,20 @@ Result<FlightDump> DecodeFlightDump(std::string_view data) {
     HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&meta));
     HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&ev.a));
     HDOV_RETURN_IF_ERROR(dec.DecodeFixed64(&ev.b));
-    ev.type = static_cast<uint16_t>(meta & 0xffff);
-    ev.code = static_cast<uint16_t>((meta >> 16) & 0xffff);
-    ev.thread = static_cast<uint32_t>(meta >> 32);
+    if (version >= 2) {
+      ev.type = static_cast<uint8_t>(meta & 0xff);
+      ev.stage = static_cast<uint8_t>((meta >> 8) & 0xff);
+      ev.code = static_cast<uint16_t>((meta >> 16) & 0xffff);
+      ev.session = static_cast<uint16_t>((meta >> 32) & 0xffff);
+      ev.thread = static_cast<uint16_t>(meta >> 48);
+    } else {
+      // v1 layout; no session/stage attribution existed.
+      ev.type = static_cast<uint8_t>(meta & 0xffff);
+      ev.code = static_cast<uint16_t>((meta >> 16) & 0xffff);
+      ev.thread = static_cast<uint16_t>((meta >> 32) & 0xffff);
+      ev.session = 0;
+      ev.stage = 0;
+    }
     dump.events.push_back(ev);
   }
   if (dec.remaining() != 0) {
@@ -393,6 +436,15 @@ std::string FlightChromeTraceJson(const FlightDump& dump) {
       w.Key("type").String(FlightEventTypeName(type));
       w.Key("a").Number(ev.a);
       w.Key("b").Number(ev.b);
+      if (ev.session != 0) {
+        w.Key("session").String(ev.session < dump.names.size()
+                                    ? std::string_view(dump.names[ev.session])
+                                    : std::string_view("?"));
+      }
+      if (ev.stage != 0) {
+        w.Key("stage").String(
+            TraceStageName(static_cast<TraceStage>(ev.stage)));
+      }
       w.EndObject();
       w.EndObject();
     };

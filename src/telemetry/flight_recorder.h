@@ -18,6 +18,13 @@
 // never touches the SimClock, IoStats, or any registry metric — enabling
 // or disabling it cannot move a single simulated counter, which is what
 // lets it stay on under the zero-drift CI perf gate.
+//
+// Attribution: every event is stamped with the recording thread's ambient
+// TraceContext (telemetry/trace_context.h) — the session it serves and
+// the pipeline stage it is in — so a drained dump can answer "which
+// session's fetch stage caused this pool miss" without any hook changing
+// its signature. Dumps are versioned ("HDOVFREC" v2 carries the wider
+// events; v1 dumps still decode with session/stage zero).
 
 #ifndef HDOV_TELEMETRY_FLIGHT_RECORDER_H_
 #define HDOV_TELEMETRY_FLIGHT_RECORDER_H_
@@ -35,14 +42,14 @@
 
 namespace hdov::telemetry {
 
-enum class FlightEventType : uint16_t {
+enum class FlightEventType : uint8_t {
   kNone = 0,
   kSpanBegin = 1,   // a = span id within its recorder.
   kSpanEnd = 2,     // a = span id.
   kPageRead = 3,    // a = first page id, b = page count.
   kPageWrite = 4,   // a = page id, b = 1.
   kPoolHit = 5,     // a = page id.
-  kPoolMiss = 6,    // a = page id.
+  kPoolMiss = 6,    // a = page id, b = miss-fill wall time in ns.
   kFrameBegin = 7,  // a = frame index.
   kFrameEnd = 8,    // a = frame index, b = io_pages (when attributed).
 };
@@ -51,12 +58,17 @@ std::string_view FlightEventTypeName(FlightEventType type);
 
 // One recorded event. `code` is an interned-name id (FlightInternName)
 // identifying the emitting device / pool / system / span; `thread` is the
-// recorder-assigned ring id of the emitting thread.
+// recorder-assigned ring id of the emitting thread; `session` is the
+// interned name id of the session the thread was serving (0 when
+// unattributed) and `stage` the TraceStage it was in, both captured from
+// the thread's TraceContext at Record() time.
 struct FlightEvent {
-  uint64_t ts_ns = 0;  // steady_clock, since the process flight epoch.
-  uint16_t type = 0;   // FlightEventType.
+  uint64_t ts_ns = 0;   // steady_clock, since the process flight epoch.
+  uint8_t type = 0;     // FlightEventType.
+  uint8_t stage = 0;    // TraceStage.
   uint16_t code = 0;
-  uint32_t thread = 0;
+  uint16_t thread = 0;
+  uint16_t session = 0;  // Interned session name id; 0 = unattributed.
   uint64_t a = 0;
   uint64_t b = 0;
 };
@@ -70,6 +82,11 @@ inline constexpr size_t kMaxFlightNames = 256;
 uint16_t FlightInternName(std::string_view name);
 std::string_view FlightNameForId(uint16_t id);  // "?" when out of range.
 size_t FlightNameCount();
+// Process-wide count of intern calls refused because the table was full
+// (each such call degraded to the "?" code). Deliberately not a registry
+// metric — the recorder never touches the registry — but surfaced in
+// dumps, `hdov_inspect --flight` rollups, and bench telemetry output.
+uint64_t FlightNamesDropped();
 
 // A drained recorder image: the merged events plus the name table they
 // index into. This is also the in-memory form of a dump file.
@@ -77,6 +94,7 @@ struct FlightDump {
   std::vector<std::string> names;   // Indexed by FlightEvent::code.
   std::vector<FlightEvent> events;  // Merged, timestamp order.
   uint64_t dropped = 0;             // Ring overwrites of undrained events.
+  uint64_t names_dropped = 0;       // Intern calls degraded to "?" (v2+).
 
   std::string_view NameOf(const FlightEvent& e) const {
     return e.code < names.size() ? std::string_view(names[e.code]) : "?";
@@ -161,7 +179,9 @@ Result<FlightDump> DecodeFlightDump(std::string_view data);
 // Chrome trace-event conversion: frame begin/end and span begin/end pair
 // into "B"/"E" events per ring thread, page/pool events become instants,
 // all on the recorder's steady-clock timeline under pid 3 (the telemetry
-// exporter uses pids 1 and 2; see docs/telemetry.md).
+// exporter uses pids 1 and 2, slow-frame dumps pid 4; see
+// docs/telemetry.md). Session/stage attribution lands in each event's
+// args.
 std::string FlightChromeTraceJson(const FlightDump& dump);
 
 // Nanoseconds since the process flight epoch (first use).

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/slow_frame.h"
+#include "telemetry/trace_context.h"
+
 namespace hdov {
 
 Result<SessionSummary> PlaySession(WalkthroughSystem* system,
@@ -28,16 +31,37 @@ Result<SessionSummary> PlaySession(WalkthroughSystem* system,
   summary.system_name = system->name();
   summary.session_name = session.name;
 
+  // Trace attribution: every flight event below carries this session's
+  // interned id, and each frame's stage breakdown feeds the always-on
+  // slow-frame ring (queue_ns stays 0 — solo playback has no scheduler).
+  const uint16_t session_code = telemetry::FlightInternName(session.name);
+  telemetry::SlowFrameCapture& slow = telemetry::GlobalSlowFrameCapture();
+
   SessionAccumulator acc;
+  uint64_t frame_index = 0;
   for (const Viewpoint& vp : session.frames) {
     FrameResult frame;
-    Status status = system->RenderFrame(vp, &frame);
+    Status status;
+    telemetry::FrameStageRecord record;
+    {
+      telemetry::SessionTraceScope trace(session_code, frame_index);
+      telemetry::BeginStageAccounting();
+      record.start_ns = telemetry::FlightNowNs();
+      status = system->RenderFrame(vp, &frame);
+      record.wall_ns = telemetry::FlightNowNs() - record.start_ns;
+      record.stages = telemetry::FinishStageAccounting();
+    }
     if (!status.ok()) {
       if (telemetry != nullptr) {
         telemetry->set_context(saved_context);
       }
       return status;
     }
+    record.session = session_code;
+    record.frame = frame_index;
+    record.io_pages = frame.io_pages;
+    slow.OnFrame(record);
+    ++frame_index;
     acc.Add(frame);
     if (options.keep_frames) {
       summary.frames.push_back(frame);

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "persist/world_codec.h"
+#include "telemetry/trace_context.h"
 
 namespace hdov {
 
@@ -201,6 +202,7 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
   HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), cell, search, result,
                                          stats_out));
   if (fetch_models) {
+    telemetry::StageTraceScope stage(telemetry::TraceStage::kFetch);
     for (const RetrievedLod& lod : *result) {
       HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
     }
@@ -272,21 +274,24 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   std::unordered_map<uint64_t, ResidentEntry> next_resident;
   next_resident.reserve(last_result_.size());
   uint64_t triangles = 0;
-  for (const RetrievedLod& lod : last_result_) {
-    const uint64_t key = ResidentKey(lod);
-    ResidentEntry entry{lod.lod_level, lod.byte_size, lod.triangle_count};
-    auto it = resident_.find(key);
-    const bool reusable =
-        delta_enabled_ && it != resident_.end() &&
-        it->second.lod_level <= lod.lod_level;  // Finer or equal resident.
-    if (reusable) {
-      entry = it->second;  // Render the (possibly finer) resident copy.
-    } else {
-      HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
-      ++fetched;
+  {
+    telemetry::StageTraceScope stage(telemetry::TraceStage::kFetch);
+    for (const RetrievedLod& lod : last_result_) {
+      const uint64_t key = ResidentKey(lod);
+      ResidentEntry entry{lod.lod_level, lod.byte_size, lod.triangle_count};
+      auto it = resident_.find(key);
+      const bool reusable =
+          delta_enabled_ && it != resident_.end() &&
+          it->second.lod_level <= lod.lod_level;  // Finer or equal resident.
+      if (reusable) {
+        entry = it->second;  // Render the (possibly finer) resident copy.
+      } else {
+        HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
+        ++fetched;
+      }
+      triangles += entry.triangle_count;
+      next_resident[key] = entry;
     }
-    triangles += entry.triangle_count;
-    next_resident[key] = entry;
   }
   resident_ = std::move(next_resident);
 
@@ -295,6 +300,7 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   // flip finds them loaded.
   if (options_.prefetch_models_per_frame > 0 && delta_enabled_ &&
       fetched == 0) {
+    telemetry::StageTraceScope stage(telemetry::TraceStage::kPrefetch);
     HDOV_RETURN_IF_ERROR(RunPrefetch(
         viewpoint, grid_->ClampedCellForPoint(viewpoint.position), &fetched));
   }
@@ -302,6 +308,7 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
     resident_.emplace(key, entry);  // Keep current-result entries as-is.
   }
 
+  telemetry::StageTraceScope render_stage(telemetry::TraceStage::kRender);
   const IoStats tree_d = tree_device_->stats().Delta(tree0);
   const IoStats store_d = store_device_->stats().Delta(store0);
   const IoStats model_d = model_device_->stats().Delta(model0);

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "telemetry/metrics.h"
 
@@ -153,6 +156,95 @@ TEST(ExpositionTest, LogWritesSamplesAndRateComments) {
   // The first sample has no interval, so rates only follow the second.
   EXPECT_NE(text.find("# rate io_page_reads delta 25 per_sec "),
             std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExpositionTest, SnapshotDeltaUnderConcurrentMutation) {
+  // TSan exercise: the exporter side (snapshot + delta) runs while
+  // worker threads hammer the same registry's counters and histograms.
+  // Every delta it computes must be internally consistent even though
+  // the values race forward between snapshots.
+  MetricsRegistry registry;
+  Counter* reads = registry.GetCounter("mut.reads");
+  Histogram* times = registry.GetHistogram("mut.time_ms", {1.0, 5.0});
+  std::atomic<bool> stop{false};
+  std::atomic<int> started{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&] {
+      reads->Add(1);  // At least one mutation lands regardless of timing.
+      started.fetch_add(1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        reads->Add(1);
+        times->Observe(0.5);
+        // Mid-flight registrations must not invalidate a concurrent
+        // Snapshot() either (registry growth vs read).
+        registry.GetCounter("mut.reads")->Add(1);
+      }
+    });
+  }
+  // Snapshots only start once every writer is live, so the race between
+  // exporter and mutators is real (and the final total cannot be zero).
+  while (started.load() < 3) {
+    std::this_thread::yield();
+  }
+  MetricsSnapshot earlier = registry.Snapshot();
+  for (int round = 0; round < 50; ++round) {
+    const MetricsSnapshot later = registry.Snapshot();
+    const SnapshotDelta delta =
+        SnapshotDelta::Between(earlier, later, 10.0);
+    for (const telemetry::MetricDelta& m : delta.metrics) {
+      // Counters and histogram counts are monotone, so no interval may
+      // ever go backwards.
+      EXPECT_GE(m.delta, 0.0) << m.name;
+      EXPECT_GE(m.current, m.previous) << m.name;
+    }
+    earlier = later;
+  }
+  stop.store(true);
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  const telemetry::MetricSample* total = final_snap.Find("mut.reads");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(total->value, 0.0);
+}
+
+TEST(ExpositionTest, LogSamplesUnderConcurrentMutation) {
+  // The periodic exporter writes while the workload mutates: every block
+  // it appends must parse as a self-consistent scrape.
+  const std::string path =
+      ::testing::TempDir() + "exposition_concurrent.prom";
+  MetricsRegistry registry;
+  Counter* reads = registry.GetCounter("mut.log_reads");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        reads->Add(1);
+        registry.GetGauge("mut.log_gauge")->Set(1.5);
+      }
+    });
+  }
+  ExpositionLog log(path);
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(
+        log.Sample(registry.Snapshot(), "r" + std::to_string(round)).ok());
+  }
+  stop.store(true);
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(log.samples_written(), 20u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("# hdov sample 19 label \"r19\""), std::string::npos);
+  EXPECT_NE(text.find("mut_log_reads "), std::string::npos);
   std::remove(path.c_str());
 }
 

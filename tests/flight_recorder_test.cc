@@ -8,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/coding.h"
 #include "common/thread_pool.h"
+#include "telemetry/trace_context.h"
 
 namespace hdov {
 namespace {
@@ -21,8 +23,14 @@ using telemetry::FlightEvent;
 using telemetry::FlightEventType;
 using telemetry::FlightFrameScope;
 using telemetry::FlightInternName;
+using telemetry::FlightNameCount;
 using telemetry::FlightNameForId;
+using telemetry::FlightNamesDropped;
 using telemetry::FlightRecorder;
+using telemetry::kMaxFlightNames;
+using telemetry::SessionTraceScope;
+using telemetry::StageTraceScope;
+using telemetry::TraceStage;
 
 std::string TempPath(const char* name) {
   return ::testing::TempDir() + name;
@@ -273,6 +281,139 @@ TEST(FlightRecorderTest, FrameScopeBracketsWithIoPages) {
   EXPECT_EQ(end->a, 41u);
   EXPECT_EQ(end->b, 17u);
   EXPECT_LE(begin->ts_ns, end->ts_ns);
+}
+
+TEST(FlightRecorderTest, RecordStampsAmbientTraceContext) {
+  FlightRecorder recorder(64);
+  const uint16_t code = FlightInternName("ctx-device");
+  const uint16_t session = FlightInternName("ctx-session");
+  recorder.Record(FlightEventType::kPoolHit, code, 1, 0);
+  {
+    SessionTraceScope trace(session, 5);
+    StageTraceScope stage(TraceStage::kFetch);
+    recorder.Record(FlightEventType::kPoolMiss, code, 2, 0);
+  }
+  recorder.Record(FlightEventType::kPoolHit, code, 3, 0);
+
+  FlightDump dump = recorder.Drain();
+  ASSERT_EQ(dump.events.size(), 3u);
+  // Outside any scope: unattributed.
+  EXPECT_EQ(dump.events[0].session, 0u);
+  EXPECT_EQ(dump.events[0].stage, 0u);
+  // Inside the scopes: stamped with session and stage.
+  EXPECT_EQ(dump.events[1].session, session);
+  EXPECT_EQ(dump.events[1].stage, static_cast<uint8_t>(TraceStage::kFetch));
+  // After the scopes unwind: unattributed again.
+  EXPECT_EQ(dump.events[2].session, 0u);
+  EXPECT_EQ(dump.events[2].stage, 0u);
+  // The dump's name table resolves the session id too.
+  EXPECT_EQ(dump.names[session], "ctx-session");
+}
+
+TEST(FlightRecorderTest, DumpRoundTripPreservesAttribution) {
+  FlightDump dump;
+  dump.names = {"?", "attr-session", "attr-device"};
+  dump.dropped = 4;
+  dump.names_dropped = 9;
+  FlightEvent ev;
+  ev.ts_ns = 1234;
+  ev.type = static_cast<uint8_t>(FlightEventType::kPoolMiss);
+  ev.stage = static_cast<uint8_t>(TraceStage::kSearch);
+  ev.code = 2;
+  ev.thread = 3;
+  ev.session = 1;
+  ev.a = 77;
+  ev.b = 88;
+  dump.events.push_back(ev);
+
+  Result<FlightDump> back = DecodeFlightDump(EncodeFlightDump(dump));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->dropped, 4u);
+  EXPECT_EQ(back->names_dropped, 9u);
+  ASSERT_EQ(back->events.size(), 1u);
+  const FlightEvent& rt = back->events[0];
+  EXPECT_EQ(rt.ts_ns, 1234u);
+  EXPECT_EQ(rt.type, static_cast<uint8_t>(FlightEventType::kPoolMiss));
+  EXPECT_EQ(rt.stage, static_cast<uint8_t>(TraceStage::kSearch));
+  EXPECT_EQ(rt.code, 2u);
+  EXPECT_EQ(rt.thread, 3u);
+  EXPECT_EQ(rt.session, 1u);
+  EXPECT_EQ(rt.a, 77u);
+  EXPECT_EQ(rt.b, 88u);
+}
+
+TEST(FlightRecorderTest, V1DumpDecodesWithZeroAttribution) {
+  // A v1 dump hand-built byte for byte: no names_dropped field, and the
+  // event meta packs type(16) | code(16) | thread(32).
+  std::string data("HDOVFREC", 8);
+  EncodeFixed32(&data, 1);  // version
+  EncodeFixed32(&data, 2);  // name count
+  EncodeFixed64(&data, 1);  // event count
+  EncodeFixed64(&data, 6);  // dropped
+  EncodeFixed32(&data, 1);
+  data += "?";
+  EncodeFixed32(&data, 6);
+  data += "legacy";
+  EncodeFixed64(&data, 42);  // ts_ns
+  EncodeFixed64(&data,
+                static_cast<uint64_t>(FlightEventType::kPoolHit) |
+                    (static_cast<uint64_t>(1) << 16) |
+                    (static_cast<uint64_t>(7) << 32));
+  EncodeFixed64(&data, 99);  // a
+  EncodeFixed64(&data, 3);   // b
+
+  Result<FlightDump> dump = DecodeFlightDump(data);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump->dropped, 6u);
+  EXPECT_EQ(dump->names_dropped, 0u);  // Field postdates v1.
+  ASSERT_EQ(dump->events.size(), 1u);
+  const FlightEvent& ev = dump->events[0];
+  EXPECT_EQ(ev.ts_ns, 42u);
+  EXPECT_EQ(ev.type, static_cast<uint8_t>(FlightEventType::kPoolHit));
+  EXPECT_EQ(ev.code, 1u);
+  EXPECT_EQ(ev.thread, 7u);
+  EXPECT_EQ(dump->NameOf(ev), "legacy");
+  // v1 predates attribution: session and stage decode as zero.
+  EXPECT_EQ(ev.session, 0u);
+  EXPECT_EQ(ev.stage, 0u);
+
+  // Version skew does not relax the corruption checks: a truncated tail
+  // and trailing garbage both fail for v1 exactly as for v2.
+  EXPECT_FALSE(DecodeFlightDump(data.substr(0, data.size() - 1)).ok());
+  EXPECT_FALSE(DecodeFlightDump(data.substr(0, data.size() - 17)).ok());
+  EXPECT_FALSE(DecodeFlightDump(data + "x").ok());
+
+  // An unknown future version is rejected outright.
+  std::string future("HDOVFREC", 8);
+  EncodeFixed32(&future, 99);
+  EXPECT_FALSE(DecodeFlightDump(future).ok());
+}
+
+TEST(FlightRecorderTest, NamesDroppedCountsTableOverflow) {
+  // Fills the process-wide intern table to its cap. Each ctest case runs
+  // in its own process (gtest_discover_tests), so the pollution cannot
+  // leak into other tests.
+  const uint64_t before = FlightNamesDropped();
+  for (size_t i = 0;
+       FlightNameCount() < kMaxFlightNames && i < kMaxFlightNames + 8;
+       ++i) {
+    FlightInternName("overflow-filler-" + std::to_string(i));
+  }
+  ASSERT_EQ(FlightNameCount(), kMaxFlightNames);
+
+  EXPECT_EQ(FlightInternName("overflow-past-cap-a"), 0u);
+  EXPECT_EQ(FlightInternName("overflow-past-cap-b"), 0u);
+  EXPECT_EQ(FlightNamesDropped(), before + 2);
+  // Refused names degrade to the reserved "?" id, and names interned
+  // before the cap still resolve.
+  EXPECT_EQ(FlightNameForId(0), "?");
+  EXPECT_EQ(FlightInternName("overflow-filler-0"),
+            FlightInternName("overflow-filler-0"));
+
+  // Drained dumps carry the counter, so it survives into dump files.
+  FlightRecorder recorder(8);
+  recorder.Record(FlightEventType::kPoolHit, 0, 1, 0);
+  EXPECT_EQ(recorder.Drain().names_dropped, before + 2);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "persist/world_codec.h"
 #include "server/session_device.h"
 #include "server/walkthrough_server.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "walkthrough/experiment_testbed.h"
 #include "walkthrough/frame_loop.h"
@@ -271,6 +272,115 @@ TEST_F(ServerTest, RollupPublishesDeterministicGauges) {
     EXPECT_TRUE(
         registry.Contains("server.session." + s.name + ".cache_hit_rate"));
   }
+}
+
+TEST_F(ServerTest, SchedulerAccountsQueueWaitAndStageTime) {
+  ServerOptions opt = BaseOptions();
+  auto server = WalkthroughServer::Open(opt);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::vector<Session> sessions = MakeSessions(3, 20);
+  for (const Session& s : sessions) {
+    ASSERT_TRUE((*server)->AddSession(s).ok());
+  }
+  auto stats = (*server)->Play();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  for (const ServerSessionRecord& r : stats->sessions) {
+    // Every frame got an enqueue→dispatch→complete triple: the service
+    // and queue-wait vectors are both fully populated.
+    EXPECT_EQ(r.frame_wall_ms.size(), r.summary.num_frames);
+    EXPECT_EQ(r.frame_queue_wait_ms.size(), r.summary.num_frames);
+    for (double q : r.frame_queue_wait_ms) {
+      EXPECT_GE(q, 0.0);
+    }
+    for (double s : r.frame_wall_ms) {
+      EXPECT_GE(s, 0.0);
+    }
+    // The stage accounting attributed real time: the search stage runs
+    // on every frame, so its total cannot be zero.
+    EXPECT_GT(r.stage_totals.total_ns(), 0u);
+    EXPECT_GT(
+        r.stage_totals.ns[static_cast<size_t>(telemetry::TraceStage::kSearch)],
+        0u);
+  }
+}
+
+TEST_F(ServerTest, WallRollupPublishesMarkedPercentileGauges) {
+  ServerOptions opt = BaseOptions();
+  auto server = WalkthroughServer::Open(opt);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::vector<Session> sessions = MakeSessions(2, 15);
+  for (const Session& s : sessions) {
+    ASSERT_TRUE((*server)->AddSession(s).ok());
+  }
+  auto stats = (*server)->Play();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  telemetry::MetricsRegistry registry;
+  WalkthroughServer::RollupWallLatencyInto(*stats, &registry, "server");
+  const telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_FALSE(snapshot.samples.empty());
+  // Every gauge the wall rollup publishes must carry the ".wall." marker
+  // — that is what routes it onto the tolerant comparison path.
+  for (const telemetry::MetricSample& sample : snapshot.samples) {
+    EXPECT_NE(sample.name.find(".wall."), std::string::npos)
+        << sample.name;
+  }
+  // Fleet-wide and per-session queue/service percentiles, plus the
+  // per-stage service-time split.
+  for (const char* suffix : {".p50", ".p95", ".p99"}) {
+    EXPECT_TRUE(registry.Contains("server.wall.queue_ms" +
+                                  std::string(suffix)));
+    EXPECT_TRUE(registry.Contains("server.wall.service_ms" +
+                                  std::string(suffix)));
+  }
+  const std::string base = "server.wall.session." + sessions[0].name;
+  EXPECT_TRUE(registry.Contains(base + ".queue_ms.p95"));
+  EXPECT_TRUE(registry.Contains(base + ".service_ms.p99"));
+  EXPECT_TRUE(registry.Contains(base + ".stage.search_ms"));
+  EXPECT_TRUE(registry.Contains(base + ".stage.render_ms"));
+  // Percentiles are monotone by construction.
+  const auto gauge = [&](const std::string& name) {
+    const telemetry::MetricSample* s = snapshot.Find(name);
+    return s != nullptr ? s->value : -1.0;
+  };
+  EXPECT_LE(gauge("server.wall.service_ms.p50"),
+            gauge("server.wall.service_ms.p95"));
+  EXPECT_LE(gauge("server.wall.service_ms.p95"),
+            gauge("server.wall.service_ms.p99"));
+}
+
+TEST_F(ServerTest, TracingDoesNotMoveSimulatedCounters) {
+  // The attribution plane (trace scopes, slow-frame feed, latency
+  // accounting) must not move one simulated number: serving with the
+  // flight recorder disabled and the slow-frame capture saturated gives
+  // bit-identical billing to a plain run.
+  const std::vector<Session> sessions = MakeSessions(2, 20);
+  auto play = [&](bool recorder_on) {
+    ServerOptions opt = BaseOptions();
+    auto server = WalkthroughServer::Open(opt);
+    EXPECT_TRUE(server.ok());
+    for (const Session& s : sessions) {
+      EXPECT_TRUE((*server)->AddSession(s).ok());
+    }
+    telemetry::GlobalFlightRecorder().set_enabled(recorder_on);
+    auto stats = (*server)->Play();
+    telemetry::GlobalFlightRecorder().set_enabled(true);
+    EXPECT_TRUE(stats.ok());
+    return *std::move(stats);
+  };
+  const ServerRunStats with = play(true);
+  const ServerRunStats without = play(false);
+  ASSERT_EQ(with.sessions.size(), without.sessions.size());
+  for (size_t i = 0; i < with.sessions.size(); ++i) {
+    ExpectSummariesIdentical(with.sessions[i].summary,
+                             without.sessions[i].summary);
+    EXPECT_DOUBLE_EQ(with.sessions[i].sim_clock_ms,
+                     without.sessions[i].sim_clock_ms);
+  }
+  EXPECT_EQ(with.total_frames, without.total_frames);
+  EXPECT_EQ(with.rounds, without.rounds);
+  EXPECT_EQ(with.batched_frames, without.batched_frames);
 }
 
 TEST_F(ServerTest, ServedWorldIsReadOnly) {

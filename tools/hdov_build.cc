@@ -27,6 +27,7 @@
 #include "telemetry/exposition.h"
 #include "telemetry/metrics.h"
 #include "telemetry/telemetry.h"
+#include "testbed/testbed_glue.h"
 #include "walkthrough/experiment_testbed.h"
 
 namespace hdov {
@@ -100,9 +101,9 @@ BuildArgs Parse(int argc, char** argv) {
       args.telemetry_out = arg + 16;
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
       if (std::strcmp(arg + 8, "large") == 0) {
-        args.testbed.blocks = 20;
-        args.testbed.cells = 24;
-        args.testbed.samples_per_cell = 5;
+        // Same preset as the benches' HDOV_BENCH_SCALE=large knob, from
+        // the shared testbed glue so the two cannot drift.
+        testbed::ApplyLargeScalePreset(&args.testbed);
       } else if (std::strcmp(arg + 8, "default") != 0) {
         Usage(arg);
       }

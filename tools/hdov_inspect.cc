@@ -4,6 +4,7 @@
 //
 //   hdov_inspect --db=<world.hdov> [--check]
 //   hdov_inspect --flight=<dump.bin> [--chrome-out=<trace.json>]
+//   hdov_inspect --slowdump=<slow.bin> [--chrome-out=<trace.json>]
 //   hdov_inspect --telemetry=<telemetry.json>
 //
 // --db prints the snapshot's section catalog, tree shape (depth, fanout
@@ -13,8 +14,15 @@
 // cannot be fully read back fails the run with a nonzero exit (the CI
 // persist-roundtrip job runs exactly this).
 //
-// --flight prints per-type and per-source event rollups of a recorder
-// dump; --chrome-out converts it to a Chrome trace-event file.
+// --flight prints per-type, per-source, per-session and per-stage event
+// rollups of a recorder dump; --chrome-out converts it to a Chrome
+// trace-event file.
+//
+// --slowdump prints the captured slow frames of a --slowdump-out file:
+// per capture the session, frame, queue-wait vs service time, the
+// threshold that tripped, the per-stage breakdown and the flight events
+// caught in the frame's window; --chrome-out converts the captures to a
+// Chrome trace with one track per session.
 //
 // --telemetry prints per-system frame rollups of a telemetry snapshot.
 
@@ -36,6 +44,8 @@
 #include "persist/world_codec.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/json.h"
+#include "telemetry/slow_frame.h"
+#include "telemetry/trace_context.h"
 #include "visibility/precompute.h"
 
 namespace hdov {
@@ -44,6 +54,7 @@ namespace {
 struct InspectArgs {
   std::string db;
   std::string flight;
+  std::string slowdump;
   std::string telemetry;
   std::string chrome_out;
   bool check = false;
@@ -54,6 +65,7 @@ struct InspectArgs {
                "hdov_inspect: bad flag %s\n"
                "usage: hdov_inspect [--db=<world.hdov>] [--check]\n"
                "  [--flight=<dump.bin>] [--chrome-out=<trace.json>]\n"
+               "  [--slowdump=<slow.bin>]\n"
                "  [--telemetry=<telemetry.json>]\n",
                flag);
   std::exit(2);
@@ -76,6 +88,7 @@ InspectArgs Parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (path_flag(argv[i], "--db=", &args.db) ||
         path_flag(argv[i], "--flight=", &args.flight) ||
+        path_flag(argv[i], "--slowdump=", &args.slowdump) ||
         path_flag(argv[i], "--telemetry=", &args.telemetry) ||
         path_flag(argv[i], "--chrome-out=", &args.chrome_out)) {
       continue;
@@ -86,7 +99,8 @@ InspectArgs Parse(int argc, char** argv) {
       Usage(argv[i]);
     }
   }
-  if (args.db.empty() && args.flight.empty() && args.telemetry.empty()) {
+  if (args.db.empty() && args.flight.empty() && args.slowdump.empty() &&
+      args.telemetry.empty()) {
     Usage("(no input)");
   }
   return args;
@@ -327,6 +341,12 @@ int InspectFlight(const InspectArgs& args) {
               args.flight.c_str(), dump.events.size(),
               static_cast<unsigned long long>(dump.dropped),
               dump.names.size(), span_ms);
+  if (dump.names_dropped > 0) {
+    std::printf("WARNING: %llu intern calls hit the %zu-name table cap and"
+                " degraded to \"?\" — per-source rollups undercount\n",
+                static_cast<unsigned long long>(dump.names_dropped),
+                telemetry::kMaxFlightNames);
+  }
 
   // Per-type counts.
   std::map<uint16_t, uint64_t> by_type;
@@ -342,9 +362,41 @@ int InspectFlight(const InspectArgs& args) {
   };
   std::map<std::string, SourceRollup> by_source;
   std::map<uint32_t, uint64_t> by_thread;
+  // Attribution rollups (v2 dumps; v1 events land on "<unattributed>").
+  std::map<std::string, SourceRollup> by_session;
+  uint64_t by_stage[telemetry::kNumTraceStages] = {};
   for (const telemetry::FlightEvent& e : dump.events) {
     by_type[e.type] += 1;
     by_thread[e.thread] += 1;
+    if (e.stage < telemetry::kNumTraceStages) {
+      by_stage[e.stage] += 1;
+    }
+    const std::string session_key =
+        e.session != 0 && e.session < dump.names.size()
+            ? dump.names[e.session]
+            : std::string("<unattributed>");
+    SourceRollup& sess = by_session[session_key];
+    sess.events += 1;
+    switch (static_cast<telemetry::FlightEventType>(e.type)) {
+      case telemetry::FlightEventType::kPageRead:
+        sess.pages_read += e.b;
+        break;
+      case telemetry::FlightEventType::kPoolHit:
+        sess.pool_hits += 1;
+        break;
+      case telemetry::FlightEventType::kPoolMiss:
+        sess.pool_misses += 1;
+        break;
+      case telemetry::FlightEventType::kFrameEnd:
+        sess.frames += 1;
+        sess.io_pages += e.b;
+        break;
+      case telemetry::FlightEventType::kSpanBegin:
+        sess.spans += 1;
+        break;
+      default:
+        break;
+    }
     SourceRollup& roll = by_source[std::string(dump.NameOf(e))];
     roll.events += 1;
     switch (static_cast<telemetry::FlightEventType>(e.type)) {
@@ -398,6 +450,29 @@ int InspectFlight(const InspectArgs& args) {
                 static_cast<unsigned long long>(roll.io_pages),
                 static_cast<unsigned long long>(roll.spans));
   }
+  std::printf("per-session rollup:\n");
+  std::printf("  %-24s %10s %10s %10s %10s %8s %10s\n", "session",
+              "events", "pages_read", "pool_hits", "pool_miss", "frames",
+              "io_pages");
+  for (const auto& [name, roll] : by_session) {
+    std::printf("  %-24s %10llu %10llu %10llu %10llu %8llu %10llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(roll.events),
+                static_cast<unsigned long long>(roll.pages_read),
+                static_cast<unsigned long long>(roll.pool_hits),
+                static_cast<unsigned long long>(roll.pool_misses),
+                static_cast<unsigned long long>(roll.frames),
+                static_cast<unsigned long long>(roll.io_pages));
+  }
+  std::printf("events by stage:");
+  for (size_t s = 0; s < telemetry::kNumTraceStages; ++s) {
+    std::printf(" %s=%llu",
+                std::string(telemetry::TraceStageName(
+                                static_cast<telemetry::TraceStage>(s)))
+                    .c_str(),
+                static_cast<unsigned long long>(by_stage[s]));
+  }
+  std::printf("\n");
 
   if (!args.chrome_out.empty()) {
     std::ofstream out(args.chrome_out,
@@ -415,6 +490,81 @@ int InspectFlight(const InspectArgs& args) {
       return 1;
     }
     std::printf("chrome trace: wrote %s (open in chrome://tracing)\n",
+                args.chrome_out.c_str());
+  }
+  return 0;
+}
+
+int InspectSlowdump(const InspectArgs& args) {
+  Result<telemetry::SlowDump> read =
+      telemetry::SlowFrameCapture::ReadDump(args.slowdump);
+  if (!read.ok()) {
+    std::fprintf(stderr, "hdov_inspect: %s: %s\n", args.slowdump.c_str(),
+                 read.status().ToString().c_str());
+    return 1;
+  }
+  const telemetry::SlowDump& dump = *read;
+  std::printf("slow dump: %s — %zu captures over %llu frames seen"
+              " (%llu triggers dropped past the cap)\n",
+              args.slowdump.c_str(), dump.captures.size(),
+              static_cast<unsigned long long>(dump.frames_seen),
+              static_cast<unsigned long long>(dump.captures_dropped));
+  for (size_t i = 0; i < dump.captures.size(); ++i) {
+    const telemetry::SlowFrameEntry& cap = dump.captures[i];
+    const telemetry::FrameStageRecord& r = cap.record;
+    std::printf(
+        "capture %zu: session %s frame %llu — queue %.3f ms,"
+        " service %.3f ms (tripped > %.3f ms), %llu sim pages\n",
+        i, std::string(dump.NameOf(r.session)).c_str(),
+        static_cast<unsigned long long>(r.frame), r.queue_ns / 1e6,
+        r.wall_ns / 1e6, cap.trip_threshold_ms,
+        static_cast<unsigned long long>(r.io_pages));
+    std::printf("  stage breakdown:");
+    for (size_t s = 0; s < telemetry::kNumTraceStages; ++s) {
+      const double ms = r.stages.ns[s] / 1e6;
+      const double total = r.stages.total_ns() / 1e6;
+      std::printf(" %s=%.3fms(%.0f%%)",
+                  std::string(telemetry::TraceStageName(
+                                  static_cast<telemetry::TraceStage>(s)))
+                      .c_str(),
+                  ms, total > 0.0 ? 100.0 * ms / total : 0.0);
+    }
+    // The captured flight events of the frame's window, rolled up by
+    // type (the full event list is in the Chrome trace conversion).
+    std::map<uint16_t, uint64_t> by_type;
+    for (const telemetry::FlightEvent& e : cap.events) {
+      by_type[e.type] += 1;
+    }
+    std::printf("\n  %zu flight events in window:", cap.events.size());
+    for (const auto& [type, count] : by_type) {
+      std::printf(" %s=%llu",
+                  std::string(telemetry::FlightEventTypeName(
+                                  static_cast<telemetry::FlightEventType>(
+                                      type)))
+                      .c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  // --chrome-out belongs to --flight when both inputs are given.
+  if (!args.chrome_out.empty() && args.flight.empty()) {
+    std::ofstream out(args.chrome_out,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "hdov_inspect: cannot open %s\n",
+                   args.chrome_out.c_str());
+      return 1;
+    }
+    out << telemetry::SlowDumpChromeTraceJson(dump);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "hdov_inspect: write failed: %s\n",
+                   args.chrome_out.c_str());
+      return 1;
+    }
+    std::printf("chrome trace: wrote %s (one track per session; open in"
+                " chrome://tracing)\n",
                 args.chrome_out.c_str());
   }
   return 0;
@@ -496,6 +646,11 @@ int Run(const InspectArgs& args) {
   }
   if (!args.flight.empty()) {
     if (int rc = InspectFlight(args); rc != 0) {
+      return rc;
+    }
+  }
+  if (!args.slowdump.empty()) {
+    if (int rc = InspectSlowdump(args); rc != 0) {
       return rc;
     }
   }
