@@ -26,7 +26,13 @@
 //   --threads=N             precompute/build workers (0 = hardware);
 //   --db=<path>             load the testbed and every VISUAL system from
 //                           a tools/hdov_build snapshot instead of
-//                           rebuilding (see docs/storage.md).
+//                           rebuilding (see docs/storage.md);
+//   --search-backend=NAME   run every VISUAL query through the named
+//                           Fig. 3 implementation: "legacy" (recursive
+//                           searcher, default) or "flat" (packed SoA tree
+//                           + bitmap V-page index, see docs/flat_tree.md).
+//                           Simulated results are bit-identical either
+//                           way; only wall-clock differs.
 //
 // Scale knob: set HDOV_BENCH_SCALE=large in the environment to run closer
 // to the paper's dataset sizes (slower); the default is sized to finish
@@ -107,6 +113,7 @@ struct BenchArgs {
   uint32_t threads = 1;       // Precompute/build workers (0 = hardware).
   uint32_t metrics_every = 0; // 0 = periodic exposition export off.
   uint32_t trace_sample = 1;  // Span tree for 1-in-N queries.
+  SearchBackend backend = SearchBackend::kLegacy;  // --search-backend.
 };
 
 // Parses the flags shared by every experiment binary. Unknown flags abort
@@ -124,6 +131,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kMetricsOut[] = "--metrics-out=";
   constexpr const char kDb[] = "--db=";
   constexpr const char kThreads[] = "--threads=";
+  constexpr const char kSearchBackend[] = "--search-backend=";
   const auto path_flag = [](const char* arg, const char* flag, size_t len,
                             std::string* out) {
     if (std::strncmp(arg, flag, len) != 0) {
@@ -186,6 +194,19 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.slowdump_threshold_ms = parsed;
       continue;
     }
+    if (std::strncmp(argv[i], kSearchBackend,
+                     sizeof(kSearchBackend) - 1) == 0) {
+      const char* value = argv[i] + sizeof(kSearchBackend) - 1;
+      if (!ParseSearchBackend(value, &args.backend)) {
+        std::fprintf(stderr,
+                     "--search-backend needs \"legacy\" or \"flat\"\n");
+        std::exit(2);
+      }
+      // Seed the process-wide default so every VisualOptions constructed
+      // after parsing (testbed glue, session views) picks it up.
+      DefaultSearchBackend() = args.backend;
+      continue;
+    }
     if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
       char* end = nullptr;
       const char* value = argv[i] + sizeof(kThreads) - 1;
@@ -200,10 +221,10 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s (supported: %s<path>, %s<path>,"
                    " %s<path>, %sN, %s<path>, %s<path>, %sF, %sN, %s<path>,"
-                   " %s<path>, %sN)\n",
+                   " %s<path>, %sN, %sNAME)\n",
                    argv[i], kTelemetryOut, kJsonOut, kTraceOut, kTraceSample,
                    kFlightOut, kSlowdumpOut, kSlowdumpThreshold,
-                   kMetricsEvery, kMetricsOut, kDb, kThreads);
+                   kMetricsEvery, kMetricsOut, kDb, kThreads, kSearchBackend);
       std::exit(2);
     }
   }

@@ -1,0 +1,358 @@
+#include "hdov/flat_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/trace_context.h"
+
+namespace hdov {
+
+namespace {
+
+// Manual span helpers: the explicit stack suspends spans across frames, so
+// RAII ScopedSpan cannot carry them. kNoSpan stays a no-op throughout.
+inline int32_t Begin(telemetry::TraceRecorder* trace, std::string_view name) {
+  return trace != nullptr ? trace->BeginSpan(name)
+                          : telemetry::TraceRecorder::kNoSpan;
+}
+
+inline void End(telemetry::TraceRecorder* trace, int32_t span) {
+  if (trace != nullptr) {
+    trace->EndSpan(span);
+  }
+}
+
+inline void Attr(telemetry::TraceRecorder* trace, int32_t span,
+                 std::string_view key, double value) {
+  if (trace != nullptr) {
+    trace->AddAttr(span, key, value);
+  }
+}
+
+}  // namespace
+
+FlatSearcher::FlatSearcher(const FlatHdovTree* tree, const Scene* scene,
+                           const ModelStore* models, PageDevice* tree_device)
+    : flat_(tree), scene_(scene), models_(models), tree_device_(tree_device),
+      log_fanout_(std::log(
+          static_cast<double>(std::max<size_t>(2, tree->fanout())))),
+      log_s_(std::log(std::max(1e-9, tree->s_ratio())) / log_fanout_) {}
+
+Status FlatSearcher::Search(VisibilityStore* store, CellId cell,
+                            const SearchOptions& options,
+                            std::vector<RetrievedLod>* result,
+                            SearchStats* stats) {
+  result->clear();
+  SearchStats local_stats;
+  last_node_page_ = kInvalidPage;  // The buffer does not persist queries.
+  telemetry::StageTraceScope stage(telemetry::TraceStage::kSearch);
+  telemetry::ScopedSpan span(options.trace, "search");
+  span.Attr("cell", static_cast<double>(cell));
+  span.Attr("eta", options.eta);
+  span.Attr("store", store->name());
+  HDOV_RETURN_IF_ERROR(store->BeginCell(cell));
+
+  // Refresh the bitmap index if the cell context moved under us. The flip
+  // counter catches a shared store visiting other cells (prefetch) and
+  // coming back: same cell id, different BeginCell history.
+  const uint64_t flips = store->telemetry_stats().cell_flips;
+  if (store != seg_store_ || cell != seg_cell_ || flips != seg_flips_) {
+    seg_valid_ = store->FillSegment(&seg_nodes_, &seg_slots_);
+    if (seg_valid_) {
+      vindex_.Rebuild(static_cast<uint32_t>(flat_->num_nodes()), seg_nodes_,
+                      seg_slots_);
+    } else {
+      vindex_.Clear();
+    }
+    seg_store_ = store;
+    seg_cell_ = cell;
+    seg_flips_ = flips;
+  }
+
+  Status status = Traverse(store, options, result, &local_stats);
+  span.Attr("nodes_visited", static_cast<double>(local_stats.nodes_visited));
+  span.Attr("vpages_fetched",
+            static_cast<double>(local_stats.vpages_fetched));
+  span.Attr("hidden_pruned",
+            static_cast<double>(local_stats.hidden_entries_pruned));
+  span.Attr("internal_terminations",
+            static_cast<double>(local_stats.internal_terminations));
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return status;
+}
+
+Status FlatSearcher::FetchVPage(VisibilityStore* store, uint32_t node_id,
+                                VPage* page, bool* visible) {
+  if (seg_valid_) {
+    uint64_t slot = 0;
+    if (vindex_.Lookup(node_id, &slot)) {
+      HDOV_RETURN_IF_ERROR(store->ReadVPageAt(slot, page));
+      *visible = true;
+      return Status::OK();
+    }
+    // Bitmap miss = invisible here; route through GetVPage anyway so the
+    // store's invisible_lookups counter ticks exactly as on the legacy
+    // path (it answers from its in-memory segment, no I/O).
+    return store->GetVPage(node_id, page, visible);
+  }
+  return store->GetVPage(node_id, page, visible);
+}
+
+void FlatSearcher::DecideEntries(const SearchOptions& options,
+                                 Frame* frame) const {
+  const uint32_t node = frame->node;
+  const uint32_t begin = flat_->entry_begin(node);
+  const uint32_t count = flat_->entry_count(node);
+  frame->decisions.assign(count, EntryDecision{});
+  const VPage& vpage = frame->vpage;
+
+  if (flat_->is_leaf(node)) {
+    for (uint32_t i = 0; i < count; ++i) {
+      frame->decisions[i].action =
+          vpage[i].dov <= 0.0f ? Action::kPrune : Action::kObject;
+    }
+    return;
+  }
+
+  // One sweep over the SoA arrays: every prune / terminate / descend
+  // verdict for this node is settled before anything is materialized.
+  const std::vector<uint64_t>& child_of = flat_->entry_child();
+  const std::vector<uint32_t>& leaf_descendants =
+      flat_->entry_leaf_descendants();
+  const std::vector<uint64_t>& subtree_triangles =
+      flat_->entry_subtree_triangles();
+  const std::vector<uint32_t>& lod_triangles = flat_->lod_triangles();
+  for (uint32_t i = 0; i < count; ++i) {
+    EntryDecision& d = frame->decisions[i];
+    const VdEntry& vd = vpage[i];
+    if (vd.dov <= 0.0f) {
+      d.action = Action::kPrune;
+      continue;
+    }
+    const uint32_t slot = begin + i;
+    const auto child = static_cast<uint32_t>(child_of[slot]);
+    // Eq. 5 LoD selection (blend by DoV / eta), needed by both the cost
+    // model and the termination itself.
+    const double k =
+        options.eta > 0.0 ? std::min(vd.dov / options.eta, 1.0) : 1.0;
+    d.level = flat_->InternalLevelForBlend(child, k);
+
+    bool terminate = false;
+    if (options.eta > 0.0 && vd.dov <= options.eta) {
+      switch (options.heuristic) {
+        case TerminationHeuristic::kNone:
+          terminate = true;
+          break;
+        case TerminationHeuristic::kEq4: {
+          // Eq. 4: h (1 + log_M s) < log_M NVO, h = log_M m.
+          const double h =
+              std::log(static_cast<double>(
+                  std::max<uint32_t>(1, leaf_descendants[slot]))) /
+              log_fanout_;
+          d.eq4_lhs = h * (1.0 + log_s_);
+          d.eq4_rhs =
+              std::log(static_cast<double>(std::max<uint32_t>(1, vd.nvo))) /
+              log_fanout_;
+          d.eq4_evaluated = true;
+          terminate = d.eq4_lhs < d.eq4_rhs;
+          break;
+        }
+        case TerminationHeuristic::kCostModel: {
+          const double n = std::max<uint32_t>(1, vd.nvo);
+          const double f_bar =
+              static_cast<double>(subtree_triangles[slot]) /
+              std::max<uint32_t>(1, leaf_descendants[slot]);
+          const double per_object_k =
+              std::min(vd.dov / n / kMaxDov, 1.0);
+          const double descent_triangles =
+              n * f_bar *
+              (per_object_k +
+               (1.0 - per_object_k) * options.assumed_coarsest_ratio);
+          terminate = lod_triangles[flat_->lod_begin(child) + d.level] <
+                      descent_triangles;
+          break;
+        }
+      }
+    }
+    d.action = terminate ? Action::kTerminate : Action::kDescend;
+  }
+}
+
+Status FlatSearcher::EnterNode(VisibilityStore* store, uint32_t node,
+                               int32_t descend_span,
+                               const SearchOptions& options, SearchStats* stats,
+                               std::vector<Frame>* stack) {
+  telemetry::TraceRecorder* trace = options.trace;
+  ++stats->nodes_visited;
+  const int32_t node_span = Begin(trace, "node");
+  Attr(trace, node_span, "node", static_cast<double>(node));
+  Attr(trace, node_span, "fanout",
+       static_cast<double>(flat_->entry_count(node)));
+  Attr(trace, node_span, "leaf", flat_->is_leaf(node) ? 1.0 : 0.0);
+
+  // Closes this node's spans in the order the legacy recursion would
+  // unwind them when SearchNode returns without recursing further.
+  auto leave = [&](Status status) {
+    End(trace, node_span);
+    End(trace, descend_span);
+    return status;
+  };
+
+  const PageId page = flat_->page(node);
+  if (page != kInvalidPage && page != last_node_page_) {
+    if (tree_cache_ != nullptr) {
+      Status status = tree_cache_->Get(page).status();
+      if (!status.ok()) {
+        return leave(status);
+      }
+      last_node_page_ = page;
+    } else if (tree_device_ != nullptr) {
+      Status status = tree_device_->Read(page, nullptr);
+      if (!status.ok()) {
+        return leave(status);
+      }
+      last_node_page_ = page;
+    }
+  }
+
+  Frame frame;
+  frame.node = node;
+  frame.node_span = node_span;
+  frame.descend_span = descend_span;
+  bool visible = false;
+  Status status = FetchVPage(store, node, &frame.vpage, &visible);
+  if (!status.ok()) {
+    return leave(status);
+  }
+  ++stats->vpages_fetched;
+  if (!visible) {
+    if (node == flat_->root_index()) {
+      return leave(Status::OK());  // Nothing visible anywhere in this cell.
+    }
+    // Paper attribute 3: a visible parent entry implies a visible child.
+    return leave(Status::Corruption("hdov search: visible entry without V-page"));
+  }
+  if (frame.vpage.size() != flat_->entry_count(node)) {
+    return leave(Status::Corruption("hdov search: V-page entry count mismatch"));
+  }
+
+  DecideEntries(options, &frame);
+  stack->push_back(std::move(frame));
+  return Status::OK();
+}
+
+Status FlatSearcher::Traverse(VisibilityStore* store,
+                              const SearchOptions& options,
+                              std::vector<RetrievedLod>* result,
+                              SearchStats* stats) {
+  telemetry::TraceRecorder* trace = options.trace;
+  std::vector<Frame> stack;
+  Status status = EnterNode(store, flat_->root_index(),
+                            telemetry::TraceRecorder::kNoSpan, options, stats,
+                            &stack);
+
+  while (status.ok() && !stack.empty()) {
+    Frame& frame = stack.back();
+    const uint32_t count = flat_->entry_count(frame.node);
+    if (frame.cursor >= count) {
+      // Node done: the child node span closes first, then the descend
+      // span the parent opened for it — legacy destruction order.
+      End(trace, frame.node_span);
+      End(trace, frame.descend_span);
+      stack.pop_back();
+      continue;
+    }
+    const uint32_t i = frame.cursor++;
+    const uint32_t slot = flat_->entry_begin(frame.node) + i;
+    const EntryDecision& d = frame.decisions[i];
+    const VdEntry& vd = frame.vpage[i];
+    const uint64_t child = flat_->entry_child()[slot];
+
+    switch (d.action) {
+      case Action::kPrune: {
+        ++stats->hidden_entries_pruned;  // Fig. 3 line 3.
+        const int32_t span = Begin(trace, "prune");
+        Attr(trace, span, "child", static_cast<double>(child));
+        Attr(trace, span, "dov", vd.dov);
+        End(trace, span);
+        break;
+      }
+      case Action::kObject: {
+        // Fig. 3 lines 4-5 with Eq. 6 LoD selection.
+        const Object& obj = scene_->object(static_cast<ObjectId>(child));
+        const double k = std::min(vd.dov / kMaxDov, 1.0);
+        RetrievedLod lod;
+        lod.kind = RetrievedLod::Kind::kObject;
+        lod.owner = child;
+        lod.lod_level = static_cast<uint32_t>(obj.lods.LevelForBlend(k));
+        lod.model = flat_->object_model(child, lod.lod_level);
+        lod.triangle_count = obj.lods.level(lod.lod_level).triangle_count;
+        lod.byte_size = obj.lods.level(lod.lod_level).byte_size;
+        lod.dov = vd.dov;
+        result->push_back(lod);
+        const int32_t span = Begin(trace, "object");
+        Attr(trace, span, "object", static_cast<double>(child));
+        Attr(trace, span, "dov", vd.dov);
+        Attr(trace, span, "level", static_cast<double>(lod.lod_level));
+        End(trace, span);
+        break;
+      }
+      case Action::kTerminate: {
+        ++stats->internal_terminations;
+        const auto child_node = static_cast<uint32_t>(child);
+        const uint32_t lod_slot = flat_->lod_begin(child_node) + d.level;
+        RetrievedLod lod;
+        lod.kind = RetrievedLod::Kind::kInternal;
+        lod.owner = child;
+        lod.lod_level = d.level;
+        lod.model = flat_->lod_model()[lod_slot];
+        lod.triangle_count = flat_->lod_triangles()[lod_slot];
+        lod.byte_size = flat_->lod_bytes()[lod_slot];
+        lod.dov = vd.dov;
+        result->push_back(lod);
+        const int32_t span = Begin(trace, "terminate");
+        Attr(trace, span, "child", static_cast<double>(child));
+        Attr(trace, span, "dov", vd.dov);
+        Attr(trace, span, "nvo", static_cast<double>(vd.nvo));
+        Attr(trace, span, "level", static_cast<double>(d.level));
+        if (d.eq4_evaluated) {
+          Attr(trace, span, "eq4_lhs", d.eq4_lhs);
+          Attr(trace, span, "eq4_rhs", d.eq4_rhs);
+          Attr(trace, span, "eq4_verdict", 1.0);
+        }
+        End(trace, span);
+        break;
+      }
+      case Action::kDescend: {
+        const int32_t span = Begin(trace, "descend");
+        Attr(trace, span, "child", static_cast<double>(child));
+        Attr(trace, span, "dov", vd.dov);
+        Attr(trace, span, "nvo", static_cast<double>(vd.nvo));
+        if (d.eq4_evaluated) {
+          Attr(trace, span, "eq4_lhs", d.eq4_lhs);
+          Attr(trace, span, "eq4_rhs", d.eq4_rhs);
+          Attr(trace, span, "eq4_verdict", 0.0);
+        }
+        // `frame` may dangle after the push; nothing of it is used past
+        // this point in the iteration.
+        status = EnterNode(store, static_cast<uint32_t>(child), span, options,
+                           stats, &stack);
+        break;
+      }
+    }
+  }
+
+  if (!status.ok()) {
+    // Unwind exactly as the legacy recursion would: each suspended node
+    // span, then the descend span above it, innermost first.
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      End(trace, it->node_span);
+      End(trace, it->descend_span);
+    }
+  }
+  return status;
+}
+
+}  // namespace hdov

@@ -1,0 +1,128 @@
+// FlatSearcher: the Fig. 3 threshold search re-hosted on the packed
+// FlatHdovTree layout (flat_tree.h). Same algorithm, same decisions, same
+// simulated I/O as HdovSearcher — proven bit-identical by the differential
+// harness in tests/flat_search_test.cc — but the traversal is an explicit
+// stack instead of recursion, each node's prune/terminate tests sweep the
+// SoA entry arena in one pass before any result is materialized, and
+// V-page visibility goes through a per-cell VPageBitmapIndex (two word
+// probes + popcount) instead of the store's per-lookup search.
+//
+// Billing contract (the part the differential harness pins down):
+//  - node pages: one buffered read per visited node, deduped against the
+//    previous node's page, exactly like HdovSearcher::last_node_page_;
+//  - visible V-pages: a bitmap hit reads the record through
+//    VisibilityStore::ReadVPageAt — the same record read and the same
+//    vpage_fetches tick as GetVPage's visible tail;
+//  - invisible V-pages: a bitmap miss routes through GetVPage so the
+//    store's invisible_lookups counter ticks identically;
+//  - stores without an in-memory segment (horizontal) fall back to
+//    GetVPage for every lookup, again identical to the legacy path.
+// Trace spans mirror the legacy searcher span for span, attribute for
+// attribute, in the same DFS order.
+
+#ifndef HDOV_HDOV_FLAT_SEARCH_H_
+#define HDOV_HDOV_FLAT_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hdov/flat_tree.h"
+#include "hdov/search.h"
+#include "hdov/visibility_store.h"
+#include "scene/object.h"
+#include "storage/buffer_pool.h"
+#include "storage/model_store.h"
+#include "telemetry/trace.h"
+
+namespace hdov {
+
+class FlatSearcher {
+ public:
+  // Same contract as HdovSearcher: `tree_device` is billed one page read
+  // per visited node (nullptr skips node-page billing).
+  FlatSearcher(const FlatHdovTree* tree, const Scene* scene,
+               const ModelStore* models, PageDevice* tree_device);
+
+  // Runs the Fig. 3 traversal for `cell`; drop-in replacement for
+  // HdovSearcher::Search.
+  Status Search(VisibilityStore* store, CellId cell,
+                const SearchOptions& options, std::vector<RetrievedLod>* result,
+                SearchStats* stats = nullptr);
+
+  // Optional LRU pool in front of the tree-node page reads; must wrap the
+  // same device.
+  void set_tree_cache(BufferPool* cache) { tree_cache_ = cache; }
+
+  const FlatHdovTree* tree() const { return flat_; }
+
+  // The per-cell V-page index currently loaded (for tests/inspection).
+  const VPageBitmapIndex& vpage_index() const { return vindex_; }
+
+ private:
+  // Per-entry verdict of the SoA decision pass.
+  enum class Action : uint8_t { kPrune, kObject, kTerminate, kDescend };
+  struct EntryDecision {
+    Action action = Action::kPrune;
+    bool eq4_evaluated = false;
+    uint32_t level = 0;  // Selected internal-LoD level (internal entries).
+    double eq4_lhs = 0.0;
+    double eq4_rhs = 0.0;
+  };
+
+  // One suspended node of the explicit traversal stack.
+  struct Frame {
+    uint32_t node = 0;
+    uint32_t cursor = 0;  // Next entry ordinal to emit.
+    int32_t node_span = telemetry::TraceRecorder::kNoSpan;
+    // The "descend" span the parent opened for this subtree; stays open
+    // until the frame pops, matching the legacy ScopedSpan nesting.
+    int32_t descend_span = telemetry::TraceRecorder::kNoSpan;
+    VPage vpage;
+    std::vector<EntryDecision> decisions;
+  };
+
+  Status Traverse(VisibilityStore* store, const SearchOptions& options,
+                  std::vector<RetrievedLod>* result, SearchStats* stats);
+
+  // Visits `node`: ticks stats, opens its "node" span, bills the node
+  // page, fetches + checks the V-page, runs the decision pass, and pushes
+  // a frame. Root-invisible returns OK without pushing (search over). On
+  // any outcome that does not push, the node span and `descend_span` are
+  // closed here, exactly as the legacy recursion unwinds them.
+  Status EnterNode(VisibilityStore* store, uint32_t node, int32_t descend_span,
+                   const SearchOptions& options, SearchStats* stats,
+                   std::vector<Frame>* stack);
+
+  // GetVPage-equivalent fetch through the bitmap index (see the billing
+  // contract above).
+  Status FetchVPage(VisibilityStore* store, uint32_t node_id, VPage* page,
+                    bool* visible);
+
+  // Fills the SoA decision pass results for `frame`'s node.
+  void DecideEntries(const SearchOptions& options, Frame* frame) const;
+
+  const FlatHdovTree* flat_;
+  const Scene* scene_;
+  const ModelStore* models_;
+  PageDevice* tree_device_;
+  BufferPool* tree_cache_ = nullptr;
+  double log_fanout_ = 1.0;
+  double log_s_ = 0.0;  // Constant per tree; legacy recomputes it per node.
+  PageId last_node_page_ = kInvalidPage;
+
+  // Per-cell segment cache behind the bitmap index, invalidated whenever
+  // the store, the cell, or the store's flip counter changes (a prefetch
+  // may flip the shared store to another cell between two queries).
+  const VisibilityStore* seg_store_ = nullptr;
+  CellId seg_cell_ = kInvalidCell;
+  uint64_t seg_flips_ = ~static_cast<uint64_t>(0);
+  bool seg_valid_ = false;
+  std::vector<uint32_t> seg_nodes_;
+  std::vector<uint64_t> seg_slots_;
+  VPageBitmapIndex vindex_;
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_HDOV_FLAT_SEARCH_H_

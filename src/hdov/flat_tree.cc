@@ -1,0 +1,311 @@
+#include "hdov/flat_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace hdov {
+
+Result<FlatHdovTree> FlatHdovTree::Compile(const HdovTree& tree) {
+  if (tree.num_nodes() == 0) {
+    return Status::InvalidArgument("flat tree: empty tree");
+  }
+  FlatHdovTree flat;
+  const size_t n = tree.num_nodes();
+  flat.root_ = static_cast<uint32_t>(tree.root_index());
+  flat.fanout_ = tree.fanout();
+  flat.s_ratio_ = tree.s_ratio();
+  flat.height_ = tree.height();
+
+  flat.node_is_leaf_.resize(n);
+  flat.node_level_.resize(n);
+  flat.node_page_.resize(n);
+  flat.entry_begin_.resize(n);
+  flat.entry_count_.resize(n);
+  flat.lod_begin_.resize(n);
+  flat.lod_count_.resize(n);
+
+  // The entry and LoD arenas follow the manifest's DFS order, the same
+  // order Pack() streams nodes to disk — a traversal touches the arena
+  // near-sequentially just like its page reads.
+  size_t total_entries = 0;
+  size_t total_lods = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const HdovNode& node = tree.node(i);
+    total_entries += node.entries.size();
+    total_lods += node.internal_lods.num_levels();
+  }
+  flat.entry_mbr_lo_.reserve(total_entries);
+  flat.entry_mbr_hi_.reserve(total_entries);
+  flat.entry_child_.reserve(total_entries);
+  flat.entry_leaf_descendants_.reserve(total_entries);
+  flat.entry_subtree_triangles_.reserve(total_entries);
+  flat.lod_model_.reserve(total_lods);
+  flat.lod_triangles_.reserve(total_lods);
+  flat.lod_bytes_.reserve(total_lods);
+
+  for (size_t dfs = 0; dfs < tree.dfs_order().size(); ++dfs) {
+    const size_t index = tree.dfs_order()[dfs];
+    if (index >= n) {
+      return Status::Corruption("flat tree: dfs order out of range");
+    }
+    const HdovNode& node = tree.node(index);
+    if (node.node_id != index) {
+      return Status::Corruption("flat tree: node id does not match slot");
+    }
+    if (node.internal_lods.empty() ||
+        node.internal_lod_models.size() != node.internal_lods.num_levels()) {
+      return Status::Corruption("flat tree: node missing internal LoDs");
+    }
+    flat.node_is_leaf_[index] = node.is_leaf ? 1 : 0;
+    flat.node_level_[index] = node.level;
+    flat.node_page_[index] = node.page;
+
+    flat.entry_begin_[index] = static_cast<uint32_t>(flat.entry_child_.size());
+    flat.entry_count_[index] = static_cast<uint32_t>(node.entries.size());
+    for (const HdovEntry& e : node.entries) {
+      if (!node.is_leaf && e.child >= n) {
+        return Status::Corruption("flat tree: child index out of range");
+      }
+      flat.entry_mbr_lo_.push_back(e.mbr.min);
+      flat.entry_mbr_hi_.push_back(e.mbr.max);
+      flat.entry_child_.push_back(e.child);
+      flat.entry_leaf_descendants_.push_back(e.leaf_descendants);
+      flat.entry_subtree_triangles_.push_back(e.subtree_triangles);
+    }
+
+    flat.lod_begin_[index] = static_cast<uint32_t>(flat.lod_model_.size());
+    flat.lod_count_[index] =
+        static_cast<uint32_t>(node.internal_lods.num_levels());
+    for (size_t l = 0; l < node.internal_lods.num_levels(); ++l) {
+      flat.lod_model_.push_back(node.internal_lod_models[l]);
+      flat.lod_triangles_.push_back(node.internal_lods.level(l).triangle_count);
+      flat.lod_bytes_.push_back(node.internal_lods.level(l).byte_size);
+    }
+  }
+
+  // Flattened object LoD model table.
+  const auto& object_models = tree.object_models();
+  flat.object_model_begin_.reserve(object_models.size() + 1);
+  flat.object_model_begin_.push_back(0);
+  for (const std::vector<ModelId>& chain : object_models) {
+    flat.object_model_.insert(flat.object_model_.end(), chain.begin(),
+                              chain.end());
+    flat.object_model_begin_.push_back(
+        static_cast<uint32_t>(flat.object_model_.size()));
+  }
+
+  // Static per-tree-level node bitmaps.
+  const size_t words = (n + 63) / 64;
+  flat.level_nodes_.assign(static_cast<size_t>(flat.height_),
+                           std::vector<uint64_t>(words, 0));
+  for (size_t i = 0; i < n; ++i) {
+    const int level = flat.node_level_[i];
+    if (level < 0 || level >= flat.height_) {
+      return Status::Corruption("flat tree: node level out of range");
+    }
+    flat.level_nodes_[level][i >> 6] |= 1ull << (i & 63);
+  }
+  return flat;
+}
+
+Aabb FlatHdovTree::NodeBoundingBox(uint32_t n) const {
+  Aabb box;
+  const uint32_t begin = entry_begin_[n];
+  const uint32_t end = begin + entry_count_[n];
+  for (uint32_t slot = begin; slot < end; ++slot) {
+    box.Extend(Aabb(entry_mbr_lo_[slot], entry_mbr_hi_[slot]));
+  }
+  return box;
+}
+
+uint32_t FlatHdovTree::InternalLevelForBlend(uint32_t n, double k) const {
+  k = std::clamp(k, 0.0, 1.0);
+  const uint32_t begin = lod_begin_[n];
+  const uint32_t count = lod_count_[n];
+  const double finest_count = lod_triangles_[begin];
+  const double coarsest_count = lod_triangles_[begin + count - 1];
+  const double budget = k * finest_count + (1.0 - k) * coarsest_count;
+  uint32_t best = 0;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < count; ++i) {
+    const double gap =
+        std::fabs(static_cast<double>(lod_triangles_[begin + i]) - budget);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+uint32_t FlatHdovTree::CountAtLevel(int level) const {
+  uint32_t count = 0;
+  for (uint64_t word : level_nodes_[level]) {
+    count += static_cast<uint32_t>(std::popcount(word));
+  }
+  return count;
+}
+
+Status FlatHdovTree::CheckInvariants() const {
+  const size_t n = num_nodes();
+  if (n == 0) {
+    return Status::Internal("flat tree: no nodes");
+  }
+  if (root_ >= n) {
+    return Status::Internal("flat tree: root out of range");
+  }
+  size_t entries_seen = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto node = static_cast<uint32_t>(i);
+    if (entry_count(node) == 0) {
+      return Status::Internal("flat tree: empty node");
+    }
+    if (entry_begin(node) + entry_count(node) > num_entries()) {
+      return Status::Internal("flat tree: entry arena overrun");
+    }
+    if (lod_count(node) == 0 ||
+        lod_begin(node) + lod_count(node) > lod_model_.size()) {
+      return Status::Internal("flat tree: internal LoD arena overrun");
+    }
+    entries_seen += entry_count(node);
+    // Internal LoD chains must be finest-first (strictly decreasing
+    // triangle counts), or Eq. 5 blending is meaningless.
+    for (uint32_t l = 1; l < lod_count(node); ++l) {
+      if (lod_triangles_[lod_begin(node) + l] >=
+          lod_triangles_[lod_begin(node) + l - 1]) {
+        return Status::Internal("flat tree: internal LoDs not decreasing");
+      }
+    }
+    if (is_leaf(node)) {
+      if (level(node) != 0) {
+        return Status::Internal("flat tree: leaf at nonzero level");
+      }
+      for (uint32_t e = 0; e < entry_count(node); ++e) {
+        const uint32_t slot = entry_begin(node) + e;
+        if (entry_leaf_descendants_[slot] != 1) {
+          return Status::Internal("flat tree: leaf entry descendant != 1");
+        }
+        if (entry_child_[slot] >= num_objects()) {
+          return Status::Internal("flat tree: object id out of range");
+        }
+      }
+      continue;
+    }
+    for (uint32_t e = 0; e < entry_count(node); ++e) {
+      const uint32_t slot = entry_begin(node) + e;
+      const uint64_t child = entry_child_[slot];
+      if (child >= n) {
+        return Status::Internal("flat tree: child index out of range");
+      }
+      const auto child_node = static_cast<uint32_t>(child);
+      if (level(child_node) != level(node) - 1) {
+        return Status::Internal("flat tree: child level mismatch");
+      }
+      if (!(EntryMbr(slot) == NodeBoundingBox(child_node))) {
+        return Status::Internal("flat tree: stale entry MBR");
+      }
+      uint32_t descendants = 0;
+      uint64_t triangles = 0;
+      for (uint32_t ce = 0; ce < entry_count(child_node); ++ce) {
+        const uint32_t child_slot = entry_begin(child_node) + ce;
+        descendants += entry_leaf_descendants_[child_slot];
+        triangles += entry_subtree_triangles_[child_slot];
+      }
+      if (descendants != entry_leaf_descendants_[slot]) {
+        return Status::Internal("flat tree: descendant count mismatch");
+      }
+      if (triangles != entry_subtree_triangles_[slot]) {
+        return Status::Internal("flat tree: subtree triangle sum mismatch");
+      }
+    }
+  }
+  if (entries_seen != num_entries()) {
+    return Status::Internal("flat tree: entry arena not fully covered");
+  }
+  return Status::OK();
+}
+
+void VPageBitmapIndex::Rebuild(uint32_t num_nodes,
+                               const std::vector<uint32_t>& nodes,
+                               const std::vector<uint64_t>& slots) {
+  num_nodes_ = num_nodes;
+  const size_t words = (static_cast<size_t>(num_nodes) + 63) / 64;
+  words_.assign(words, 0);
+  summary_.assign((words + 63) / 64, 0);
+  for (uint32_t id : nodes) {
+    words_[id >> 6] |= 1ull << (id & 63);
+  }
+  rank_.assign(words + 1, 0);
+  for (size_t w = 0; w < words; ++w) {
+    rank_[w + 1] =
+        rank_[w] + static_cast<uint32_t>(std::popcount(words_[w]));
+    if (words_[w] != 0) {
+      summary_[w >> 6] |= 1ull << (w & 63);
+    }
+  }
+  slots_ = slots;
+}
+
+void VPageBitmapIndex::Clear() {
+  num_nodes_ = 0;
+  words_.clear();
+  summary_.clear();
+  rank_.clear();
+  slots_.clear();
+}
+
+uint32_t VPageBitmapIndex::Rank(uint32_t node_id) const {
+  if (node_id >= num_nodes_) {
+    return visible_count();
+  }
+  const uint32_t word = node_id >> 6;
+  const uint64_t below = (1ull << (node_id & 63)) - 1;
+  return rank_[word] +
+         static_cast<uint32_t>(std::popcount(words_[word] & below));
+}
+
+bool VPageBitmapIndex::Lookup(uint32_t node_id, uint64_t* slot) const {
+  if (node_id >= num_nodes_) {
+    return false;
+  }
+  const uint32_t word = node_id >> 6;
+  const uint64_t bit = 1ull << (node_id & 63);
+  const uint64_t bits = words_[word];
+  if ((bits & bit) == 0) {
+    return false;
+  }
+  const uint32_t rank =
+      rank_[word] + static_cast<uint32_t>(std::popcount(bits & (bit - 1)));
+  *slot = slots_[rank];
+  return true;
+}
+
+uint32_t VPageBitmapIndex::NextVisible(uint32_t from) const {
+  if (from >= num_nodes_) {
+    return kNotFound;
+  }
+  uint32_t word = from >> 6;
+  // Tail of the starting word.
+  const uint64_t masked = words_[word] & (~0ull << (from & 63));
+  if (masked != 0) {
+    return (word << 6) + static_cast<uint32_t>(std::countr_zero(masked));
+  }
+  // Summary probe: skip straight to the next non-empty word.
+  ++word;
+  const auto num_words = static_cast<uint32_t>(words_.size());
+  while (word < num_words) {
+    const uint32_t sword = word >> 6;
+    const uint64_t sbits = summary_[sword] & (~0ull << (word & 63));
+    if (sbits == 0) {
+      word = (sword + 1) << 6;
+      continue;
+    }
+    word = (sword << 6) + static_cast<uint32_t>(std::countr_zero(sbits));
+    return (word << 6) + static_cast<uint32_t>(std::countr_zero(words_[word]));
+  }
+  return kNotFound;
+}
+
+}  // namespace hdov

@@ -1,0 +1,195 @@
+// FlatHdovTree: a query-time re-layout of a built HdovTree (ROADMAP item
+// "flatten the search hot path"). The builder assigns node ids in DFS
+// preorder and the tree manifest serializes nodes in that same order, so
+// the flat layout simply reuses it: node headers become parallel arrays
+// indexed by node id, and every node's entries land contiguously in one
+// structure-of-arrays entry arena, DFS-packed like the on-disk pages.
+// The Fig. 3 prune/terminate tests then sweep plain float/int arrays
+// (branch-light, auto-vectorizable) instead of chasing std::vector<HdovNode>
+// objects — see flat_search.h for the searcher that runs on this layout.
+//
+// Compile() is a pure function of the built tree: it copies, never
+// references, so the source HdovTree and the FlatHdovTree can be shared
+// and dropped independently. Both describe the identical tree; the
+// differential harness (tests/flat_search_test.cc) holds the two search
+// paths to bit-identical results, stats and simulated I/O.
+//
+// VPageBitmapIndex is the per-cell companion: a bitmap over V-page-visible
+// node ids with a per-word rank prefix and a one-level summary, in the
+// spirit of level-specialized bitmap trees (fast_tree.h, SNIPPETS.md). It
+// is rebuilt at each cell flip from the store's in-memory segment
+// (VisibilityStore::FillSegment) and turns the indexed-vertical scheme's
+// per-lookup binary search into two word probes and a popcount.
+
+#ifndef HDOV_HDOV_FLAT_TREE_H_
+#define HDOV_HDOV_FLAT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/aabb.h"
+#include "hdov/hdov_tree.h"
+#include "storage/model_store.h"
+
+namespace hdov {
+
+class FlatHdovTree {
+ public:
+  FlatHdovTree() = default;
+
+  // Compiles the packed layout from a built (or manifest-restored) tree.
+  // Fails if the tree is empty or structurally inconsistent (dangling
+  // child index, internal node without internal LoDs).
+  static Result<FlatHdovTree> Compile(const HdovTree& tree);
+
+  // --- Whole-tree scalars -------------------------------------------------
+  size_t num_nodes() const { return node_page_.size(); }
+  size_t num_entries() const { return entry_child_.size(); }
+  uint32_t root_index() const { return root_; }
+  size_t fanout() const { return fanout_; }
+  double s_ratio() const { return s_ratio_; }
+  int height() const { return height_; }
+  size_t num_objects() const {
+    return object_model_begin_.empty() ? 0 : object_model_begin_.size() - 1;
+  }
+
+  // --- Node headers (parallel arrays indexed by node id) ------------------
+  bool is_leaf(uint32_t n) const { return node_is_leaf_[n] != 0; }
+  int level(uint32_t n) const { return node_level_[n]; }
+  PageId page(uint32_t n) const { return node_page_[n]; }
+  uint32_t entry_begin(uint32_t n) const { return entry_begin_[n]; }
+  uint32_t entry_count(uint32_t n) const { return entry_count_[n]; }
+  uint32_t lod_begin(uint32_t n) const { return lod_begin_[n]; }
+  uint32_t lod_count(uint32_t n) const { return lod_count_[n]; }
+
+  // --- SoA entry arena (indexed by entry slot = entry_begin + ordinal) ----
+  const std::vector<Vec3>& entry_mbr_lo() const { return entry_mbr_lo_; }
+  const std::vector<Vec3>& entry_mbr_hi() const { return entry_mbr_hi_; }
+  // ObjectId for leaf entries, child node id for internal entries.
+  const std::vector<uint64_t>& entry_child() const { return entry_child_; }
+  const std::vector<uint32_t>& entry_leaf_descendants() const {
+    return entry_leaf_descendants_;
+  }
+  const std::vector<uint64_t>& entry_subtree_triangles() const {
+    return entry_subtree_triangles_;
+  }
+
+  Aabb EntryMbr(uint32_t slot) const {
+    return Aabb(entry_mbr_lo_[slot], entry_mbr_hi_[slot]);
+  }
+
+  // Union of a node's entry MBRs (== HdovNode::BoundingBox()).
+  Aabb NodeBoundingBox(uint32_t n) const;
+
+  // --- Internal-LoD arena (indexed by lod_begin + level) ------------------
+  const std::vector<ModelId>& lod_model() const { return lod_model_; }
+  const std::vector<uint32_t>& lod_triangles() const { return lod_triangles_; }
+  const std::vector<uint64_t>& lod_bytes() const { return lod_bytes_; }
+
+  // Eq. 5 level selection over node `n`'s internal LoD chain; arithmetic
+  // identical to LodChain::LevelForBlend (ties break toward the finer
+  // level, strict less-than).
+  uint32_t InternalLevelForBlend(uint32_t n, double k) const;
+
+  // --- Object LoD model table, flattened ----------------------------------
+  // == HdovTree::object_models()[object][level].
+  ModelId object_model(uint64_t object, uint32_t level) const {
+    return object_model_[object_model_begin_[object] + level];
+  }
+
+  // --- Per-tree-level static node bitmaps ---------------------------------
+  // level_nodes(l) has bit `n` set iff node n sits at tree level l (0 =
+  // leaves). A vertical sweep of one level is a word scan instead of a
+  // full node walk; combined with a VPageBitmapIndex a word-AND + popcount
+  // answers "how many level-l nodes are V-page-visible in this cell".
+  const std::vector<uint64_t>& level_nodes(int level) const {
+    return level_nodes_[level];
+  }
+  uint32_t CountAtLevel(int level) const;
+
+  // Structural invariants, mirroring HdovTree::CheckInvariants over the
+  // flat arrays: consistent arena extents, DFS-packed entry layout, child
+  // links one level down, MBR containment of child bounding boxes, and
+  // internal LoD chains with monotone triangle counts.
+  Status CheckInvariants() const;
+
+ private:
+  uint32_t root_ = 0;
+  size_t fanout_ = 0;
+  double s_ratio_ = 0.25;
+  int height_ = 0;
+
+  std::vector<uint8_t> node_is_leaf_;
+  std::vector<int32_t> node_level_;
+  std::vector<PageId> node_page_;
+  std::vector<uint32_t> entry_begin_;
+  std::vector<uint32_t> entry_count_;
+  std::vector<uint32_t> lod_begin_;
+  std::vector<uint32_t> lod_count_;
+
+  std::vector<Vec3> entry_mbr_lo_;
+  std::vector<Vec3> entry_mbr_hi_;
+  std::vector<uint64_t> entry_child_;
+  std::vector<uint32_t> entry_leaf_descendants_;
+  std::vector<uint64_t> entry_subtree_triangles_;
+
+  std::vector<ModelId> lod_model_;
+  std::vector<uint32_t> lod_triangles_;
+  std::vector<uint64_t> lod_bytes_;
+
+  std::vector<uint32_t> object_model_begin_;
+  std::vector<ModelId> object_model_;
+
+  std::vector<std::vector<uint64_t>> level_nodes_;
+};
+
+// Per-cell bitmap index over V-page-visible node ids. Rebuilt at every
+// cell flip from a VisibilityStore's in-memory segment; Lookup answers
+// "is this node visible here, and at which V-page record slot" in O(1):
+//   rank  = prefix[word] + popcount(word bits below the node's bit)
+//   slot  = slots[rank]
+// A summary level (one bit per leaf word) makes NextVisible — the select
+// companion — skip empty 4096-node spans in one probe.
+class VPageBitmapIndex {
+ public:
+  static constexpr uint32_t kNotFound = ~static_cast<uint32_t>(0);
+
+  // `nodes` must be ascending; `slots` is parallel (the record slot of
+  // each visible node). Both come from VisibilityStore::FillSegment.
+  void Rebuild(uint32_t num_nodes, const std::vector<uint32_t>& nodes,
+               const std::vector<uint64_t>& slots);
+  void Clear();
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t visible_count() const {
+    return static_cast<uint32_t>(slots_.size());
+  }
+
+  bool Test(uint32_t node_id) const {
+    return node_id < num_nodes_ &&
+           (words_[node_id >> 6] & (1ull << (node_id & 63))) != 0;
+  }
+
+  // Number of visible nodes with id < node_id.
+  uint32_t Rank(uint32_t node_id) const;
+
+  // True (with *slot set) iff the node is visible in the current cell.
+  bool Lookup(uint32_t node_id, uint64_t* slot) const;
+
+  // Smallest visible node id >= from, or kNotFound.
+  uint32_t NextVisible(uint32_t from) const;
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  uint32_t num_nodes_ = 0;
+  std::vector<uint64_t> words_;    // One bit per node id.
+  std::vector<uint64_t> summary_;  // One bit per non-empty word.
+  std::vector<uint32_t> rank_;     // Prefix popcount per word.
+  std::vector<uint64_t> slots_;    // Record slot per visible node, rank order.
+};
+
+}  // namespace hdov
+
+#endif  // HDOV_HDOV_FLAT_TREE_H_

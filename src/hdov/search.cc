@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <numeric>
 
 #include "telemetry/trace_context.h"
 
@@ -14,28 +16,74 @@ void PrioritizeRetrieval(const Frustum& frustum, const HdovTree& tree,
     bool in_frustum;
     double key;  // DoV (descending) inside, distance (ascending) outside.
   };
-  auto rank = [&](const RetrievedLod& lod) {
+  // Rank each representation once up front: the frustum test and the
+  // MBR-distance are far too heavy to re-run O(n log n) times inside the
+  // sort comparator.
+  std::vector<Ranked> ranked;
+  ranked.reserve(result->size());
+  for (const RetrievedLod& lod : *result) {
     const Aabb& mbr =
         lod.kind == RetrievedLod::Kind::kObject
             ? scene.object(static_cast<ObjectId>(lod.owner)).mbr
             : tree.node(static_cast<size_t>(lod.owner)).BoundingBox();
     if (frustum.IntersectsBox(mbr)) {
-      return Ranked{true, static_cast<double>(lod.dov)};
+      ranked.push_back(Ranked{true, static_cast<double>(lod.dov)});
+    } else {
+      ranked.push_back(Ranked{false, mbr.DistanceTo(frustum.eye())});
     }
-    return Ranked{false, mbr.DistanceTo(frustum.eye())};
-  };
-  std::stable_sort(result->begin(), result->end(),
-                   [&](const RetrievedLod& a, const RetrievedLod& b) {
-                     Ranked ra = rank(a);
-                     Ranked rb = rank(b);
-                     if (ra.in_frustum != rb.in_frustum) {
-                       return ra.in_frustum;
-                     }
-                     if (ra.in_frustum) {
-                       return ra.key > rb.key;  // High DoV first.
-                     }
-                     return ra.key < rb.key;  // Near first.
-                   });
+  }
+  std::vector<size_t> order(result->size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Ranked& ra = ranked[a];
+    const Ranked& rb = ranked[b];
+    if (ra.in_frustum != rb.in_frustum) {
+      return ra.in_frustum;
+    }
+    if (ra.in_frustum) {
+      return ra.key > rb.key;  // High DoV first.
+    }
+    return ra.key < rb.key;  // Near first.
+  });
+  std::vector<RetrievedLod> sorted;
+  sorted.reserve(result->size());
+  for (size_t index : order) {
+    sorted.push_back((*result)[index]);
+  }
+  *result = std::move(sorted);
+}
+
+const char* SearchBackendName(SearchBackend backend) {
+  switch (backend) {
+    case SearchBackend::kLegacy:
+      return "legacy";
+    case SearchBackend::kFlat:
+      return "flat";
+  }
+  return "unknown";
+}
+
+bool ParseSearchBackend(std::string_view name, SearchBackend* backend) {
+  if (name == "legacy") {
+    *backend = SearchBackend::kLegacy;
+    return true;
+  }
+  if (name == "flat") {
+    *backend = SearchBackend::kFlat;
+    return true;
+  }
+  return false;
+}
+
+SearchBackend& DefaultSearchBackend() {
+  static SearchBackend backend = [] {
+    SearchBackend parsed = SearchBackend::kLegacy;
+    if (const char* env = std::getenv("HDOV_SEARCH_BACKEND")) {
+      ParseSearchBackend(env, &parsed);
+    }
+    return parsed;
+  }();
+  return backend;
 }
 
 HdovSearcher::HdovSearcher(const HdovTree* tree, const Scene* scene,

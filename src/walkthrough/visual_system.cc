@@ -16,23 +16,45 @@ VisualSystem::VisualSystem(const Scene* scene, const CellGrid* grid,
       model_device_(std::make_unique<PageDevice>(options.disk, &clock_)),
       models_(std::make_unique<ModelStore>(model_device_.get())) {}
 
-// Shared tail of Create / CreateFromSnapshot: wire the searcher and the
-// optional tree cache, then zero every simulated counter and the disk-head
-// trackers so measured workloads start from an identical state on both
-// paths.
-void VisualSystem::FinishConstruction() {
+// Shared tail of the three factories: wire the searcher of the configured
+// backend and the optional tree cache, then zero every simulated counter
+// and the disk-head trackers so measured workloads start from an identical
+// state on every path.
+Status VisualSystem::FinishConstruction() {
   searcher_ = std::make_unique<HdovSearcher>(tree_.get(), scene_,
                                              models_.get(),
                                              tree_device_.get());
+  if (options_.backend == SearchBackend::kFlat) {
+    if (flat_tree_ == nullptr) {
+      HDOV_ASSIGN_OR_RETURN(FlatHdovTree flat,
+                            FlatHdovTree::Compile(*tree_));
+      flat_tree_ = std::make_shared<const FlatHdovTree>(std::move(flat));
+    }
+    flat_searcher_ = std::make_unique<FlatSearcher>(
+        flat_tree_.get(), scene_, models_.get(), tree_device_.get());
+  }
   if (options_.tree_cache_pages > 0) {
     tree_cache_ = std::make_unique<BufferPool>(tree_device_.get(),
                                                options_.tree_cache_pages);
     searcher_->set_tree_cache(tree_cache_.get());
+    if (flat_searcher_ != nullptr) {
+      flat_searcher_->set_tree_cache(tree_cache_.get());
+    }
   }
   tree_device_->ResetAccessTracker();
   store_device_->ResetAccessTracker();
   model_device_->ResetAccessTracker();
   ResetIoStats();
+  return Status::OK();
+}
+
+Status VisualSystem::RunSearch(CellId cell, const SearchOptions& search,
+                               std::vector<RetrievedLod>* result,
+                               SearchStats* stats) {
+  if (flat_searcher_ != nullptr) {
+    return flat_searcher_->Search(store_.get(), cell, search, result, stats);
+  }
+  return searcher_->Search(store_.get(), cell, search, result, stats);
 }
 
 Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
@@ -55,7 +77,7 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::Create(
       system->store_,
       BuildStore(options.scheme, *system->tree_, *table,
                  system->store_device_.get(), options.build_threads));
-  system->FinishConstruction();
+  HDOV_RETURN_IF_ERROR(system->FinishConstruction());
   return system;
 }
 
@@ -107,7 +129,7 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::CreateFromSnapshot(
       system->store_,
       LoadStore(options.scheme, *system->tree_, store_meta,
                 system->store_device_.get()));
-  system->FinishConstruction();
+  HDOV_RETURN_IF_ERROR(system->FinishConstruction());
   return system;
 }
 
@@ -133,11 +155,12 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::CreateSessionView(
       std::make_unique<ModelStore>(system->model_device_.get());
   HDOV_RETURN_IF_ERROR(system->models_->RestoreMeta(world.model_meta));
   system->tree_ = world.tree;
+  system->flat_tree_ = world.flat_tree;  // May be null: compiled on demand.
   HDOV_ASSIGN_OR_RETURN(
       system->store_,
       LoadStore(options.scheme, *system->tree_, world.store_meta,
                 system->store_device_.get()));
-  system->FinishConstruction();
+  HDOV_RETURN_IF_ERROR(system->FinishConstruction());
   return system;
 }
 
@@ -199,8 +222,7 @@ Status VisualSystem::Query(const Vec3& position, bool fetch_models,
       search.trace = &tracer;
     }
   }
-  HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), cell, search, result,
-                                         stats_out));
+  HDOV_RETURN_IF_ERROR(RunSearch(cell, search, result, stats_out));
   if (fetch_models) {
     telemetry::StageTraceScope stage(telemetry::TraceStage::kFetch);
     for (const RetrievedLod& lod : *result) {
@@ -236,8 +258,7 @@ Status VisualSystem::QueryWithHeuristic(const Vec3& position,
   SearchOptions search = options_.search;
   search.eta = options_.eta;
   search.heuristic = heuristic;
-  HDOV_RETURN_IF_ERROR(
-      searcher_->Search(store_.get(), cell, search, result, nullptr));
+  HDOV_RETURN_IF_ERROR(RunSearch(cell, search, result, nullptr));
   for (const RetrievedLod& lod : *result) {
     HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
   }
@@ -364,8 +385,8 @@ Status VisualSystem::RunPrefetch(const Viewpoint& viewpoint,
     prefetch_.loaded.clear();
     SearchOptions search = options_.search;
     search.eta = options_.eta;
-    HDOV_RETURN_IF_ERROR(searcher_->Search(store_.get(), ahead, search,
-                                           &prefetch_.pending, nullptr));
+    HDOV_RETURN_IF_ERROR(RunSearch(ahead, search, &prefetch_.pending,
+                                   nullptr));
   }
   size_t budget = options_.prefetch_models_per_frame;
   while (budget > 0 && prefetch_.next < prefetch_.pending.size()) {

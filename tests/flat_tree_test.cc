@@ -1,0 +1,367 @@
+// FlatHdovTree / VPageBitmapIndex property suite: the packed layout must
+// preserve every header, entry and LoD of the source tree (including after
+// a manifest round trip), and the bitmap index's rank/select answers must
+// be exact at every word boundary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hdov/builder.h"
+#include "hdov/flat_tree.h"
+#include "hdov/hdov_tree.h"
+#include "scene/city_generator.h"
+
+namespace hdov {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VPageBitmapIndex rank/select unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(VPageBitmapIndexTest, EmptyUniverse) {
+  VPageBitmapIndex index;
+  index.Rebuild(0, {}, {});
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_EQ(index.visible_count(), 0u);
+  EXPECT_FALSE(index.Test(0));
+  uint64_t slot = 0;
+  EXPECT_FALSE(index.Lookup(0, &slot));
+  EXPECT_EQ(index.NextVisible(0), VPageBitmapIndex::kNotFound);
+}
+
+TEST(VPageBitmapIndexTest, AllInvisible) {
+  VPageBitmapIndex index;
+  index.Rebuild(130, {}, {});
+  EXPECT_EQ(index.visible_count(), 0u);
+  for (uint32_t n : {0u, 63u, 64u, 129u}) {
+    EXPECT_FALSE(index.Test(n));
+    EXPECT_EQ(index.Rank(n), 0u);
+  }
+  EXPECT_EQ(index.NextVisible(0), VPageBitmapIndex::kNotFound);
+  EXPECT_EQ(index.NextVisible(129), VPageBitmapIndex::kNotFound);
+}
+
+TEST(VPageBitmapIndexTest, WordBoundaryBits) {
+  // Bits straddling the 64-bit word edges: 0, 62/63/64/65 and the last two
+  // ids of a 129-node universe (128 starts the third word).
+  const std::vector<uint32_t> nodes = {0, 62, 63, 64, 65, 127, 128};
+  std::vector<uint64_t> slots;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    slots.push_back(100 + 7 * i);  // Arbitrary, distinct record slots.
+  }
+  VPageBitmapIndex index;
+  index.Rebuild(129, nodes, slots);
+  EXPECT_EQ(index.num_nodes(), 129u);
+  EXPECT_EQ(index.visible_count(), nodes.size());
+
+  // Membership + slot recovery, exact per-id rank.
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_TRUE(index.Test(nodes[i])) << nodes[i];
+    EXPECT_EQ(index.Rank(nodes[i]), i) << nodes[i];
+    uint64_t slot = 0;
+    ASSERT_TRUE(index.Lookup(nodes[i], &slot)) << nodes[i];
+    EXPECT_EQ(slot, slots[i]) << nodes[i];
+  }
+  // Holes around the boundaries answer negative without disturbing rank.
+  for (uint32_t hole : {1u, 61u, 66u, 126u}) {
+    EXPECT_FALSE(index.Test(hole));
+    uint64_t slot = 99;
+    EXPECT_FALSE(index.Lookup(hole, &slot));
+    EXPECT_EQ(slot, 99u);  // Untouched on a miss.
+  }
+  EXPECT_EQ(index.Rank(1), 1u);    // Only node 0 below.
+  EXPECT_EQ(index.Rank(64), 3u);   // 0, 62, 63.
+  EXPECT_EQ(index.Rank(128), 6u);  // All but the last.
+  EXPECT_EQ(index.Rank(4096), index.visible_count());  // Past the end.
+
+  // NextVisible walks exactly the set, in order.
+  uint32_t cursor = 0;
+  for (uint32_t expected : nodes) {
+    EXPECT_EQ(index.NextVisible(cursor), expected);
+    cursor = expected + 1;
+  }
+  EXPECT_EQ(index.NextVisible(cursor), VPageBitmapIndex::kNotFound);
+  // From a visible id, NextVisible returns that id itself.
+  EXPECT_EQ(index.NextVisible(64), 64u);
+  EXPECT_EQ(index.NextVisible(128), 128u);
+}
+
+TEST(VPageBitmapIndexTest, SixtyThreeAndSixtyFourNodeUniverses) {
+  for (uint32_t universe : {63u, 64u, 65u}) {
+    std::vector<uint32_t> nodes;
+    std::vector<uint64_t> slots;
+    for (uint32_t n = 0; n < universe; ++n) {
+      nodes.push_back(n);
+      slots.push_back(3ull * n);
+    }
+    VPageBitmapIndex index;
+    index.Rebuild(universe, nodes, slots);
+    EXPECT_EQ(index.visible_count(), universe);
+    for (uint32_t n = 0; n < universe; ++n) {
+      EXPECT_EQ(index.Rank(n), n);
+      uint64_t slot = 0;
+      ASSERT_TRUE(index.Lookup(n, &slot));
+      EXPECT_EQ(slot, 3ull * n);
+      EXPECT_EQ(index.NextVisible(n), n);
+    }
+    EXPECT_FALSE(index.Test(universe));
+    EXPECT_EQ(index.NextVisible(universe), VPageBitmapIndex::kNotFound);
+  }
+}
+
+TEST(VPageBitmapIndexTest, SummarySkipsEmptySpans) {
+  // A 64*64-node span of zero words is exactly one summary word; the
+  // select scan must hop it in one probe and still land on the right bit.
+  const std::vector<uint32_t> nodes = {5, 4100, 16391};
+  const std::vector<uint64_t> slots = {50, 51, 52};
+  VPageBitmapIndex index;
+  index.Rebuild(20000, nodes, slots);
+  EXPECT_EQ(index.NextVisible(0), 5u);
+  EXPECT_EQ(index.NextVisible(6), 4100u);
+  EXPECT_EQ(index.NextVisible(4101), 16391u);
+  EXPECT_EQ(index.NextVisible(16392), VPageBitmapIndex::kNotFound);
+  EXPECT_EQ(index.Rank(16391), 2u);
+  uint64_t slot = 0;
+  ASSERT_TRUE(index.Lookup(16391, &slot));
+  EXPECT_EQ(slot, 52u);
+}
+
+TEST(VPageBitmapIndexTest, LastBitOfExactWordMultiple) {
+  VPageBitmapIndex index;
+  index.Rebuild(4096, {4095}, {9});
+  EXPECT_EQ(index.NextVisible(0), 4095u);
+  EXPECT_EQ(index.NextVisible(4095), 4095u);
+  uint64_t slot = 0;
+  ASSERT_TRUE(index.Lookup(4095, &slot));
+  EXPECT_EQ(slot, 9u);
+  EXPECT_EQ(index.Rank(4095), 0u);
+}
+
+TEST(VPageBitmapIndexTest, RebuildReplacesPreviousCell) {
+  VPageBitmapIndex index;
+  index.Rebuild(200, {10, 20, 30}, {0, 1, 2});
+  index.Rebuild(200, {150}, {7});
+  EXPECT_FALSE(index.Test(10));
+  EXPECT_TRUE(index.Test(150));
+  EXPECT_EQ(index.visible_count(), 1u);
+  uint64_t slot = 0;
+  ASSERT_TRUE(index.Lookup(150, &slot));
+  EXPECT_EQ(slot, 7u);
+  index.Clear();
+  EXPECT_EQ(index.num_nodes(), 0u);
+  EXPECT_FALSE(index.Test(150));
+  EXPECT_EQ(index.NextVisible(0), VPageBitmapIndex::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// FlatHdovTree compile property tests against a real built tree.
+// ---------------------------------------------------------------------------
+
+class FlatTreeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CityOptions copt;
+    copt.mode = GeometryMode::kProxy;
+    copt.blocks_x = 4;
+    copt.blocks_y = 4;
+    scene_ = new Scene(std::move(*GenerateCity(copt)));
+
+    model_device_ = new PageDevice();
+    models_ = new ModelStore(model_device_);
+    HdovBuildOptions bopt;
+    bopt.rtree.max_entries = 8;
+    bopt.rtree.min_entries = 3;
+    Result<HdovTree> tree = HdovBuilder::Build(*scene_, models_, bopt);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    tree_ = new HdovTree(std::move(*tree));
+
+    Result<FlatHdovTree> flat = FlatHdovTree::Compile(*tree_);
+    ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+    flat_ = new FlatHdovTree(std::move(*flat));
+  }
+
+  static void TearDownTestSuite() {
+    delete flat_;
+    delete tree_;
+    delete models_;
+    delete model_device_;
+    delete scene_;
+  }
+
+  static Scene* scene_;
+  static PageDevice* model_device_;
+  static ModelStore* models_;
+  static HdovTree* tree_;
+  static FlatHdovTree* flat_;
+};
+
+Scene* FlatTreeFixture::scene_ = nullptr;
+PageDevice* FlatTreeFixture::model_device_ = nullptr;
+ModelStore* FlatTreeFixture::models_ = nullptr;
+HdovTree* FlatTreeFixture::tree_ = nullptr;
+FlatHdovTree* FlatTreeFixture::flat_ = nullptr;
+
+// Every field of every node of `flat` equals its counterpart in `tree`.
+void ExpectFlatMatchesTree(const FlatHdovTree& flat, const HdovTree& tree) {
+  ASSERT_EQ(flat.num_nodes(), tree.num_nodes());
+  EXPECT_EQ(flat.root_index(), tree.root_index());
+  EXPECT_EQ(flat.fanout(), tree.fanout());
+  EXPECT_DOUBLE_EQ(flat.s_ratio(), tree.s_ratio());
+  EXPECT_EQ(flat.height(), tree.height());
+  EXPECT_EQ(flat.num_objects(), tree.object_models().size());
+
+  size_t total_entries = 0;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const auto n = static_cast<uint32_t>(i);
+    const HdovNode& node = tree.node(i);
+    EXPECT_EQ(flat.is_leaf(n), node.is_leaf);
+    EXPECT_EQ(flat.level(n), node.level);
+    EXPECT_EQ(flat.page(n), node.page);
+    ASSERT_EQ(flat.entry_count(n), node.entries.size());
+    for (size_t e = 0; e < node.entries.size(); ++e) {
+      const uint32_t slot = flat.entry_begin(n) + static_cast<uint32_t>(e);
+      EXPECT_EQ(flat.EntryMbr(slot), node.entries[e].mbr);
+      EXPECT_EQ(flat.entry_child()[slot], node.entries[e].child);
+      EXPECT_EQ(flat.entry_leaf_descendants()[slot],
+                node.entries[e].leaf_descendants);
+      EXPECT_EQ(flat.entry_subtree_triangles()[slot],
+                node.entries[e].subtree_triangles);
+    }
+    total_entries += node.entries.size();
+
+    ASSERT_EQ(flat.lod_count(n), node.internal_lods.num_levels());
+    for (size_t l = 0; l < node.internal_lods.num_levels(); ++l) {
+      const uint32_t slot = flat.lod_begin(n) + static_cast<uint32_t>(l);
+      EXPECT_EQ(flat.lod_model()[slot], node.internal_lod_models[l]);
+      EXPECT_EQ(flat.lod_triangles()[slot],
+                node.internal_lods.level(l).triangle_count);
+      EXPECT_EQ(flat.lod_bytes()[slot], node.internal_lods.level(l).byte_size);
+    }
+    EXPECT_EQ(flat.NodeBoundingBox(n), node.BoundingBox());
+  }
+  EXPECT_EQ(flat.num_entries(), total_entries);
+
+  for (size_t o = 0; o < tree.object_models().size(); ++o) {
+    const std::vector<ModelId>& chain = tree.object_models()[o];
+    for (size_t l = 0; l < chain.size(); ++l) {
+      EXPECT_EQ(flat.object_model(o, static_cast<uint32_t>(l)), chain[l]);
+    }
+  }
+}
+
+TEST_F(FlatTreeFixture, CompilePreservesEveryField) {
+  ExpectFlatMatchesTree(*flat_, *tree_);
+}
+
+TEST_F(FlatTreeFixture, EntryArenaIsDfsPacked) {
+  // Node ids are DFS preorder, so walking the manifest order must sweep
+  // both arenas front to back with no gaps.
+  uint32_t next_entry = 0;
+  uint32_t next_lod = 0;
+  for (size_t index : tree_->dfs_order()) {
+    const auto n = static_cast<uint32_t>(index);
+    EXPECT_EQ(flat_->entry_begin(n), next_entry);
+    EXPECT_EQ(flat_->lod_begin(n), next_lod);
+    next_entry += flat_->entry_count(n);
+    next_lod += flat_->lod_count(n);
+  }
+  EXPECT_EQ(next_entry, flat_->num_entries());
+  EXPECT_EQ(next_lod, flat_->lod_model().size());
+}
+
+TEST_F(FlatTreeFixture, InternalLevelForBlendMatchesLodChain) {
+  for (size_t i = 0; i < tree_->num_nodes(); ++i) {
+    const auto n = static_cast<uint32_t>(i);
+    for (double k : {-0.5, 0.0, 0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.999, 1.0,
+                     1.5}) {
+      EXPECT_EQ(flat_->InternalLevelForBlend(n, k),
+                tree_->node(i).internal_lods.LevelForBlend(
+                    std::clamp(k, 0.0, 1.0)))
+          << "node " << n << " k " << k;
+    }
+  }
+}
+
+TEST_F(FlatTreeFixture, LevelBitmapsPartitionTheNodes) {
+  uint32_t total = 0;
+  for (int level = 0; level < flat_->height(); ++level) {
+    total += flat_->CountAtLevel(level);
+    const std::vector<uint64_t>& words = flat_->level_nodes(level);
+    for (size_t i = 0; i < flat_->num_nodes(); ++i) {
+      const bool set = (words[i >> 6] & (1ull << (i & 63))) != 0;
+      EXPECT_EQ(set, flat_->level(static_cast<uint32_t>(i)) == level)
+          << "node " << i << " level " << level;
+    }
+  }
+  EXPECT_EQ(total, flat_->num_nodes());
+  // Exactly one root at the top level.
+  EXPECT_EQ(flat_->CountAtLevel(flat_->height() - 1), 1u);
+}
+
+TEST_F(FlatTreeFixture, CheckInvariantsPasses) {
+  EXPECT_TRUE(flat_->CheckInvariants().ok());
+}
+
+TEST_F(FlatTreeFixture, ManifestRoundTripCompilesIdentically) {
+  // Pack (assigning real page ids) -> manifest -> restore -> compile; the
+  // two flat trees must agree array for array.
+  PageDevice device;
+  HdovTree packed = *tree_;
+  ASSERT_TRUE(packed.Pack(&device).ok());
+  Result<FlatHdovTree> a = FlatHdovTree::Compile(packed);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  std::string manifest;
+  ASSERT_TRUE(packed.EncodeManifest(&manifest).ok());
+  Result<HdovTree> restored = HdovTree::FromManifest(&device, manifest);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Result<FlatHdovTree> b = FlatHdovTree::Compile(*restored);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  ExpectFlatMatchesTree(*b, packed);
+  EXPECT_EQ(a->entry_mbr_lo(), b->entry_mbr_lo());
+  EXPECT_EQ(a->entry_mbr_hi(), b->entry_mbr_hi());
+  EXPECT_EQ(a->entry_child(), b->entry_child());
+  EXPECT_EQ(a->entry_leaf_descendants(), b->entry_leaf_descendants());
+  EXPECT_EQ(a->entry_subtree_triangles(), b->entry_subtree_triangles());
+  EXPECT_EQ(a->lod_model(), b->lod_model());
+  EXPECT_EQ(a->lod_triangles(), b->lod_triangles());
+  EXPECT_EQ(a->lod_bytes(), b->lod_bytes());
+  for (uint32_t n = 0; n < a->num_nodes(); ++n) {
+    EXPECT_EQ(a->page(n), b->page(n));
+  }
+  EXPECT_TRUE(b->CheckInvariants().ok());
+}
+
+TEST(FlatTreeCompileTest, RejectsEmptyTree) {
+  EXPECT_TRUE(FlatHdovTree::Compile(HdovTree()).status().IsInvalidArgument());
+}
+
+TEST_F(FlatTreeFixture, RejectsCorruptedTrees) {
+  // Dangling child index on an internal node.
+  {
+    HdovTree broken = *tree_;
+    bool mutated = false;
+    for (size_t i = 0; i < broken.num_nodes() && !mutated; ++i) {
+      if (!broken.node(i).is_leaf) {
+        broken.mutable_node(i).entries[0].child = broken.num_nodes() + 17;
+        mutated = true;
+      }
+    }
+    ASSERT_TRUE(mutated);
+    EXPECT_TRUE(FlatHdovTree::Compile(broken).status().IsCorruption());
+  }
+  // Internal LoD model list out of step with the chain.
+  {
+    HdovTree broken = *tree_;
+    broken.mutable_node(0).internal_lod_models.clear();
+    EXPECT_TRUE(FlatHdovTree::Compile(broken).status().IsCorruption());
+  }
+}
+
+}  // namespace
+}  // namespace hdov

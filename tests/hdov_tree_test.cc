@@ -579,6 +579,41 @@ TEST_F(HdovFixture, PrioritizeRetrievalOrdersFrustumFirst) {
   }
 }
 
+TEST_F(HdovFixture, PrioritizeRetrievalIsStableOnTies) {
+  // Duplicated representations of one object carry identical sort keys
+  // (same MBR, same DoV) whichever way the frustum faces; a stable
+  // prioritization must keep their input order. lod_level marks it.
+  auto make_ties = [&](uint64_t object) {
+    std::vector<RetrievedLod> result;
+    for (uint32_t marker = 0; marker < 4; ++marker) {
+      RetrievedLod lod;
+      lod.kind = RetrievedLod::Kind::kObject;
+      lod.owner = object;
+      lod.lod_level = marker;
+      lod.dov = 0.25f;
+      result.push_back(lod);
+    }
+    return result;
+  };
+  const Aabb mbr = scene_->object(0).mbr;
+  const Vec3 center = mbr.Center();
+  // Facing the object (everything in-frustum, DoV ties) and facing away
+  // (everything out-of-frustum, distance ties): both groups must preserve
+  // input order.
+  for (double facing : {1.0, -1.0}) {
+    SCOPED_TRACE(facing > 0 ? "in-frustum ties" : "out-of-frustum ties");
+    Vec3 eye = center - Vec3(facing * (mbr.Extent().x + 50.0), 0, 0);
+    eye.z = 1.7;
+    Frustum frustum(eye, Vec3(1, 0, 0), FrustumOptions{});
+    std::vector<RetrievedLod> ordered = make_ties(0);
+    PrioritizeRetrieval(frustum, *tree_, *scene_, &ordered);
+    ASSERT_EQ(ordered.size(), 4u);
+    for (uint32_t marker = 0; marker < 4; ++marker) {
+      EXPECT_EQ(ordered[marker].lod_level, marker);
+    }
+  }
+}
+
 TEST_F(HdovFixture, FullPersistenceRoundTrip) {
   // Pack + manifest -> device image file -> reload -> identical search
   // results through the restored tree.
