@@ -33,6 +33,11 @@
 //                           + bitmap V-page index, see docs/flat_tree.md).
 //                           Simulated results are bit-identical either
 //                           way; only wall-clock differs.
+//   --prefetch=MODE         prefetch pipeline of every VISUAL system:
+//                           "off" (default; billing identical to a build
+//                           without the subsystem), "sync" (the legacy
+//                           idle-frame model prefetch) or "async" (the
+//                           overlapped pipeline, docs/prefetch.md).
 //
 // Scale knob: set HDOV_BENCH_SCALE=large in the environment to run closer
 // to the paper's dataset sizes (slower); the default is sized to finish
@@ -114,6 +119,7 @@ struct BenchArgs {
   uint32_t metrics_every = 0; // 0 = periodic exposition export off.
   uint32_t trace_sample = 1;  // Span tree for 1-in-N queries.
   SearchBackend backend = SearchBackend::kLegacy;  // --search-backend.
+  prefetch::PrefetchMode prefetch = prefetch::PrefetchMode::kOff;
 };
 
 // Parses the flags shared by every experiment binary. Unknown flags abort
@@ -132,6 +138,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   constexpr const char kDb[] = "--db=";
   constexpr const char kThreads[] = "--threads=";
   constexpr const char kSearchBackend[] = "--search-backend=";
+  constexpr const char kPrefetch[] = "--prefetch=";
   const auto path_flag = [](const char* arg, const char* flag, size_t len,
                             std::string* out) {
     if (std::strncmp(arg, flag, len) != 0) {
@@ -207,6 +214,16 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       DefaultSearchBackend() = args.backend;
       continue;
     }
+    if (std::strncmp(argv[i], kPrefetch, sizeof(kPrefetch) - 1) == 0) {
+      const char* value = argv[i] + sizeof(kPrefetch) - 1;
+      if (!prefetch::ParsePrefetchMode(value, &args.prefetch)) {
+        std::fprintf(stderr,
+                     "--prefetch needs \"off\", \"sync\" or \"async\"\n");
+        std::exit(2);
+      }
+      prefetch::DefaultPrefetchMode() = args.prefetch;
+      continue;
+    }
     if (std::strncmp(argv[i], kThreads, sizeof(kThreads) - 1) == 0) {
       char* end = nullptr;
       const char* value = argv[i] + sizeof(kThreads) - 1;
@@ -221,10 +238,11 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown flag %s (supported: %s<path>, %s<path>,"
                    " %s<path>, %sN, %s<path>, %s<path>, %sF, %sN, %s<path>,"
-                   " %s<path>, %sN, %sNAME)\n",
+                   " %s<path>, %sN, %sNAME, %sMODE)\n",
                    argv[i], kTelemetryOut, kJsonOut, kTraceOut, kTraceSample,
                    kFlightOut, kSlowdumpOut, kSlowdumpThreshold,
-                   kMetricsEvery, kMetricsOut, kDb, kThreads, kSearchBackend);
+                   kMetricsEvery, kMetricsOut, kDb, kThreads, kSearchBackend,
+                   kPrefetch);
       std::exit(2);
     }
   }

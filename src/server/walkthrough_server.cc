@@ -117,6 +117,27 @@ Status WalkthroughServer::LoadWorld() {
     return std::unique_ptr<PageDevice>(
         new SessionDevice(base, cache, options_.visual.disk, clock));
   };
+  if (options_.visual.prefetch == prefetch::PrefetchMode::kAsync) {
+    // One warm queue for the whole server: sessions share its workers
+    // (their speculative plans are independent; cancellation is scoped
+    // per session) and their warms land in the shared pools, so one
+    // session's prefetch serves co-located sessions too.
+    prefetch::FetchQueueOptions qopt;
+    qopt.workers = options_.prefetch_workers;
+    prefetch_queue_ = std::make_unique<prefetch::AsyncFetchQueue>(qopt);
+    options_.visual.prefetch_queue = prefetch_queue_.get();
+    world_.warm_pool = [this](SessionDeviceRole role) -> ShardedBufferPool* {
+      switch (role) {
+        case SessionDeviceRole::kTree:
+          return tree_pool_.get();
+        case SessionDeviceRole::kStore:
+          return store_pool_.get();
+        case SessionDeviceRole::kModel:
+          return nullptr;  // Model pages bill without data; nothing to warm.
+      }
+      return nullptr;
+    };
+  }
   return Status::OK();
 }
 

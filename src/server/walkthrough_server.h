@@ -52,6 +52,10 @@ struct ServerOptions {
   uint32_t workers = 4;
   // Group same-cell frames of a round onto one worker task.
   bool batch_same_cell = true;
+  // Background warm workers of the server-wide prefetch queue (only
+  // built when visual.prefetch is kAsync). All sessions share the queue;
+  // cancellation stays per session.
+  size_t prefetch_workers = 2;
 };
 
 // Everything Play() measured about one session. `summary` holds only
@@ -107,6 +111,10 @@ class WalkthroughServer {
   const Scene& scene() const { return scene_; }
   const CellGrid& grid() const { return grid_; }
   const SharedWorldView& world() const { return world_; }
+  // Server-wide async warm queue; null unless visual.prefetch is kAsync.
+  const prefetch::AsyncFetchQueue* prefetch_queue() const {
+    return prefetch_queue_.get();
+  }
 
   // Writes the deterministic aggregates of a finished run into `registry`
   // as gauges: `<prefix>.session.<name>.*` per session (the same five
@@ -155,6 +163,11 @@ class WalkthroughServer {
   std::unique_ptr<FilePageDevice> model_base_;
   std::unique_ptr<ShardedBufferPool> tree_pool_;   // Null when disabled.
   std::unique_ptr<ShardedBufferPool> store_pool_;  // Null when disabled.
+  // Server-wide background warm queue for async prefetch (null
+  // otherwise). Declared after the pools/devices it warms: sessions
+  // drain their own warms at destruction, and the queue's destructor
+  // drains the rest before the warm targets go away.
+  std::unique_ptr<prefetch::AsyncFetchQueue> prefetch_queue_;
 
   SharedWorldView world_;
   std::vector<Session> sessions_;

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/coding.h"
+#include "telemetry/trace_context.h"
 
 namespace hdov {
 
@@ -209,6 +210,49 @@ void PageDevice::RegisterWith(telemetry::MetricsRegistry* registry,
 }
 
 void PageDevice::BillRead(PageId first, uint64_t pages) {
+  if (prefetch_sink_ != nullptr) {
+    // Billing diversion: the read is speculative prefetch I/O. Charge the
+    // sink's private counters and head tracker; the device's stats, the
+    // shared clock, and next_sequential_ stay where the frame left them.
+    PrefetchSink& sink = *prefetch_sink_;
+    sink.stats.page_reads += pages;
+    sink.stats.bytes_read += pages * model_.page_size;
+    const uint64_t seeks = (first == sink.next_sequential) ? 0 : 1;
+    sink.stats.seeks += seeks;
+    sink.cost_millis += model_.ReadCostMillis(pages, seeks);
+    sink.next_sequential = first + pages;
+    sink.runs.emplace_back(first, pages);
+    // A diverted read IS a prefetch issue, whatever scope the speculative
+    // pass happens to be in (the searcher opens its own kSearch stage).
+    telemetry::GlobalFlightRecorder().RecordWithStage(
+        telemetry::FlightEventType::kPageRead, flight_code_, first, pages,
+        static_cast<uint8_t>(telemetry::TraceStage::kPrefetch));
+    return;
+  }
+  if (prefetch_residency_ != nullptr && pages > 0 &&
+      prefetch_residency_->pages.size() >= pages) {
+    bool all_resident = true;
+    for (uint64_t i = 0; i < pages; ++i) {
+      if (prefetch_residency_->pages.count(first + i) == 0) {
+        all_resident = false;
+        break;
+      }
+    }
+    if (all_resident) {
+      // Residency gate: the run was prefetched and is still resident, so
+      // the frame does not stall on it. Consume the pages (one-shot) and
+      // skip billing entirely — no stats, no clock, no head movement.
+      for (uint64_t i = 0; i < pages; ++i) {
+        prefetch_residency_->pages.erase(first + i);
+      }
+      prefetch_residency_->used_pages += pages;
+      ++prefetch_residency_->used_runs;
+      telemetry::GlobalFlightRecorder().Record(
+          telemetry::FlightEventType::kPrefetchUsed, flight_code_, first,
+          pages);
+      return;
+    }
+  }
   stats_.page_reads += pages;
   stats_.bytes_read += pages * model_.page_size;
   uint64_t seeks = (first == next_sequential_) ? 0 : 1;

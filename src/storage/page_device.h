@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/sim_clock.h"
@@ -25,6 +27,46 @@ namespace hdov {
 
 using PageId = uint64_t;
 inline constexpr PageId kInvalidPage = ~static_cast<PageId>(0);
+
+// --- Prefetch accounting hooks (src/prefetch/, docs/prefetch.md) --------
+//
+// The prefetch subsystem models overlapped I/O on top of the simulated
+// cost model with two device-level hooks. Both are inert until installed,
+// so a device without a prefetcher bills exactly as before (the zero-drift
+// contract CI enforces):
+//
+//  - a billing *diversion* (PrefetchSink): while installed, BillRead
+//    charges the sink — its own IoStats, cost accumulator, and private
+//    disk-head tracker — instead of the device's stats and shared clock,
+//    and records each page run so the issuer can mark the pages resident.
+//    The device's own counters, clock, and head tracker do not move: the
+//    diverted cost is the I/O the prefetcher overlaps with rendering.
+//
+//  - a *residency gate* (PrefetchResidency): while installed, a billed
+//    read whose pages are ALL resident is consumed instead of billed —
+//    the pages are erased (one-shot: a prefetched page satisfies exactly
+//    one read), the consumption counters tick, a kPrefetchUsed flight
+//    event is recorded, and neither IoStats, the SimClock, nor the head
+//    tracker move (no I/O happened; the data was already in memory).
+//    Partially resident runs are billed in full and leave the residency
+//    set untouched.
+
+// Accumulator for diverted prefetch billing. One sink per device: the
+// seek accounting needs a head tracker private to the device it shadows.
+struct PrefetchSink {
+  IoStats stats;
+  double cost_millis = 0.0;  // DiskModel cost of the diverted reads.
+  PageId next_sequential = kInvalidPage;
+  std::vector<std::pair<PageId, uint64_t>> runs;  // (first, pages) issued.
+};
+
+// One-shot resident-page set consulted by BillRead. `used_*` are ticked
+// by the device on every consumed read.
+struct PrefetchResidency {
+  std::unordered_set<PageId> pages;
+  uint64_t used_pages = 0;
+  uint64_t used_runs = 0;
+};
 
 class PageDevice {
  public:
@@ -111,6 +153,15 @@ class PageDevice {
   SimClock& clock() { return *clock_; }
   const SimClock& clock() const { return *clock_; }
 
+  // Installs / removes the prefetch hooks (see the structs above). Null
+  // uninstalls. The installed object must outlive the installation; both
+  // are consulted on the billing path only, never on raw reads.
+  void set_prefetch_sink(PrefetchSink* sink) { prefetch_sink_ = sink; }
+  void set_prefetch_residency(PrefetchResidency* residency) {
+    prefetch_residency_ = residency;
+  }
+  PrefetchSink* prefetch_sink() const { return prefetch_sink_; }
+
  protected:
   // Charges `pages` transfers starting at `first`; adds a seek when the
   // access does not continue the previous one. Subclasses bill through
@@ -131,6 +182,26 @@ class PageDevice {
   // Materialized page contents; empty string = unmaterialized (zeros).
   std::vector<std::string> pages_;
   PageId next_sequential_ = kInvalidPage;  // Page after the last access.
+  PrefetchSink* prefetch_sink_ = nullptr;            // Diversion; may be null.
+  PrefetchResidency* prefetch_residency_ = nullptr;  // Gate; may be null.
+};
+
+// RAII billing diversion: installs `sink` on construction, uninstalls on
+// destruction. Used around a speculative prefetch pass so every billed
+// read inside lands in the sink instead of the frame's counters.
+class ScopedPrefetchBilling {
+ public:
+  ScopedPrefetchBilling(PageDevice* device, PrefetchSink* sink)
+      : device_(device) {
+    device_->set_prefetch_sink(sink);
+  }
+  ~ScopedPrefetchBilling() { device_->set_prefetch_sink(nullptr); }
+
+  ScopedPrefetchBilling(const ScopedPrefetchBilling&) = delete;
+  ScopedPrefetchBilling& operator=(const ScopedPrefetchBilling&) = delete;
+
+ private:
+  PageDevice* device_;
 };
 
 }  // namespace hdov

@@ -31,6 +31,10 @@ std::string_view FlightEventTypeName(FlightEventType type) {
       return "frame_begin";
     case FlightEventType::kFrameEnd:
       return "frame_end";
+    case FlightEventType::kPrefetchUsed:
+      return "prefetch_used";
+    case FlightEventType::kPrefetchCancel:
+      return "prefetch_cancel";
   }
   return "unknown";
 }
@@ -153,18 +157,24 @@ FlightRecorder::Buffer* FlightRecorder::LocalBuffer() {
 
 void FlightRecorder::Record(FlightEventType type, uint16_t code, uint64_t a,
                             uint64_t b) {
+  // Stamp the thread's ambient session + stage so the event is
+  // attributable without widening any hook signature.
+  RecordWithStage(type, code, a, b,
+                  static_cast<uint8_t>(CurrentTraceContext().stage));
+}
+
+void FlightRecorder::RecordWithStage(FlightEventType type, uint16_t code,
+                                     uint64_t a, uint64_t b, uint8_t stage) {
   if (!enabled()) {
     return;
   }
   Buffer* buf = LocalBuffer();
-  // Stamp the thread's ambient session + stage so the event is
-  // attributable without widening any hook signature.
   const TraceContext& ctx = CurrentTraceContext();
   const uint64_t idx = buf->head.load(std::memory_order_relaxed);
   Slot& slot = buf->ring[idx & (capacity_ - 1)];
   slot.w[0].store(FlightNowNs(), std::memory_order_relaxed);
   slot.w[1].store(static_cast<uint64_t>(type) |
-                      (static_cast<uint64_t>(ctx.stage) << 8) |
+                      (static_cast<uint64_t>(stage) << 8) |
                       (static_cast<uint64_t>(code) << 16) |
                       (static_cast<uint64_t>(ctx.session) << 32) |
                       (static_cast<uint64_t>(buf->id & 0xffff) << 48),
@@ -468,6 +478,10 @@ std::string FlightChromeTraceJson(const FlightDump& dump) {
       case FlightEventType::kPoolHit:
       case FlightEventType::kPoolMiss:
         emit("pool", "i");
+        break;
+      case FlightEventType::kPrefetchUsed:
+      case FlightEventType::kPrefetchCancel:
+        emit("prefetch", "i");
         break;
       case FlightEventType::kNone:
         break;

@@ -52,6 +52,11 @@ enum class FlightEventType : uint8_t {
   kPoolMiss = 6,    // a = page id, b = miss-fill wall time in ns.
   kFrameBegin = 7,  // a = frame index.
   kFrameEnd = 8,    // a = frame index, b = io_pages (when attributed).
+  // Prefetch overlap accounting (src/prefetch/, docs/prefetch.md). Issue
+  // events are ordinary kPageRead events recorded with stage == kPrefetch;
+  // these two cover the other ends of a prefetched page's life.
+  kPrefetchUsed = 9,    // a = first page id, b = pages consumed unbilled.
+  kPrefetchCancel = 10, // a = resident pages invalidated, b = planned cell.
 };
 
 std::string_view FlightEventTypeName(FlightEventType type);
@@ -124,6 +129,14 @@ class FlightRecorder {
   // thread on first use). No-op when disabled. Lock-free after the first
   // call per thread.
   void Record(FlightEventType type, uint16_t code, uint64_t a, uint64_t b);
+
+  // Like Record, but stamps `stage` (a TraceStage value) instead of the
+  // thread's ambient stage; session attribution is still ambient. For
+  // hooks that know an event's pipeline meaning regardless of what scope
+  // they run under — e.g. a diverted prefetch read is a kPrefetch issue
+  // even while the speculative searcher's own kSearch scope is active.
+  void RecordWithStage(FlightEventType type, uint16_t code, uint64_t a,
+                       uint64_t b, uint8_t stage);
 
   // Threads that ever recorded into this recorder.
   size_t num_threads() const;

@@ -41,6 +41,50 @@ Status VisualSystem::FinishConstruction() {
       flat_searcher_->set_tree_cache(tree_cache_.get());
     }
   }
+  // Nonzero prefetch_models_per_frame is the historical way to ask for
+  // the (then-inline) synchronous prefetch; it keeps meaning exactly
+  // that.
+  if (options_.prefetch == prefetch::PrefetchMode::kOff &&
+      options_.prefetch_models_per_frame > 0) {
+    options_.prefetch = prefetch::PrefetchMode::kSync;
+  }
+  if (options_.prefetch != prefetch::PrefetchMode::kOff) {
+    prefetch::PrefetcherOptions popt;
+    popt.mode = options_.prefetch;
+    popt.max_models = options_.prefetch_max_models;
+    prefetch::PrefetcherWiring wiring;
+    wiring.grid = grid_;
+    if (options_.prefetch == prefetch::PrefetchMode::kAsync) {
+      wiring.scene = scene_;
+      wiring.tree = tree_;
+      wiring.scheme = options_.scheme;
+      store_->EncodeMeta(&wiring.store_meta);
+      wiring.models = models_.get();
+      wiring.tree_device = tree_device_.get();
+      wiring.store_device = store_device_.get();
+      wiring.model_device = model_device_.get();
+      if (options_.prefetch_queue != nullptr) {
+        wiring.queue = options_.prefetch_queue;
+      } else {
+        prefetch::FetchQueueOptions qopt;
+        qopt.workers = options_.prefetch_workers;
+        own_queue_ = std::make_unique<prefetch::AsyncFetchQueue>(qopt);
+        wiring.queue = own_queue_.get();
+      }
+      if (warm_pool_) {
+        auto warm = warm_pool_;
+        wiring.warm_pool = [warm](prefetch::PrefetchRole role) {
+          return warm(static_cast<SessionDeviceRole>(static_cast<int>(role)));
+        };
+      }
+      wiring.is_resident = [this](const RetrievedLod& lod) {
+        auto it = resident_.find(ResidentKey(lod));
+        return it != resident_.end() && it->second.lod_level <= lod.lod_level;
+      };
+    }
+    HDOV_ASSIGN_OR_RETURN(prefetcher_,
+                          prefetch::Prefetcher::Create(wiring, popt));
+  }
   tree_device_->ResetAccessTracker();
   store_device_->ResetAccessTracker();
   model_device_->ResetAccessTracker();
@@ -151,6 +195,7 @@ Result<std::unique_ptr<VisualSystem>> VisualSystem::CreateSessionView(
   HDOV_ASSIGN_OR_RETURN(
       system->model_device_,
       world.make_device(SessionDeviceRole::kModel, &system->clock_));
+  system->warm_pool_ = world.warm_pool;
   system->models_ =
       std::make_unique<ModelStore>(system->model_device_.get());
   HDOV_RETURN_IF_ERROR(system->models_->RestoreMeta(world.model_meta));
@@ -173,6 +218,12 @@ void VisualSystem::RegisterTelemetry() {
   store_->RegisterTelemetry(&m, p);
   if (tree_cache_ != nullptr) {
     tree_cache_->RegisterWith(&m, p + ".cache.tree");
+  }
+  if (prefetcher_ != nullptr &&
+      prefetcher_->mode() == prefetch::PrefetchMode::kAsync) {
+    // Async only: the sync fold must not add metrics the pinned baseline
+    // snapshots do not carry.
+    prefetcher_->RegisterTelemetry(&m, p);
   }
   ctr_queries_ = m.GetCounter(p + ".search.queries");
   ctr_nodes_visited_ = m.GetCounter(p + ".search.nodes_visited");
@@ -268,6 +319,13 @@ Status VisualSystem::QueryWithHeuristic(const Vec3& position,
 Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
                                  FrameResult* result) {
   telemetry::FlightFrameScope flight(FlightCode(), NextFlightFrame());
+  const CellId frame_cell = grid_->ClampedCellForPoint(viewpoint.position);
+  if (prefetcher_ != nullptr) {
+    // Async pipeline: runs staged at the end of the previous frame have
+    // completed in the frame gap — publish them resident before anything
+    // bills. No-op in sync mode / when nothing was staged.
+    prefetcher_->BeginFrame();
+  }
   const double t0 = clock_.NowMillis();
   const IoStats tree0 = tree_device_->stats();
   const IoStats store0 = store_device_->stats();
@@ -316,17 +374,58 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   resident_ = std::move(next_resident);
 
-  // Idle-frame prefetching toward the predicted next cell. Prefetched
+  // Sync-mode idle-frame prefetching toward the predicted next cell (the
+  // legacy inline path, now folded into the prefetcher but driven through
+  // hooks so the billing sequence is unchanged). Prefetched
   // representations are pinned in the resident set so the eventual cell
   // flip finds them loaded.
-  if (options_.prefetch_models_per_frame > 0 && delta_enabled_ &&
+  if (prefetcher_ != nullptr &&
+      prefetcher_->mode() == prefetch::PrefetchMode::kSync &&
+      options_.prefetch_models_per_frame > 0 && delta_enabled_ &&
       fetched == 0) {
     telemetry::StageTraceScope stage(telemetry::TraceStage::kPrefetch);
-    HDOV_RETURN_IF_ERROR(RunPrefetch(
-        viewpoint, grid_->ClampedCellForPoint(viewpoint.position), &fetched));
+    prefetch::Prefetcher::SyncHooks hooks;
+    hooks.search = [this](CellId cell, std::vector<RetrievedLod>* out) {
+      SearchOptions search = options_.search;
+      search.eta = options_.eta;
+      return RunSearch(cell, search, out, nullptr);
+    };
+    hooks.clear_loaded = [this] { prefetch_loaded_.clear(); };
+    hooks.should_skip = [this](const RetrievedLod& lod) {
+      const uint64_t key = ResidentKey(lod);
+      auto it = resident_.find(key);
+      if (it != resident_.end() && it->second.lod_level <= lod.lod_level) {
+        return true;  // Already resident at sufficient detail.
+      }
+      auto pf = prefetch_loaded_.find(key);
+      return pf != prefetch_loaded_.end() &&
+             pf->second.lod_level <= lod.lod_level;
+    };
+    hooks.fetch = [this](const RetrievedLod& lod) {
+      HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
+      prefetch_loaded_[ResidentKey(lod)] =
+          ResidentEntry{lod.lod_level, lod.byte_size, lod.triangle_count};
+      return Status::OK();
+    };
+    HDOV_RETURN_IF_ERROR(prefetcher_->SyncStep(
+        viewpoint, frame_cell, options_.prefetch_models_per_frame, hooks,
+        &fetched));
   }
-  for (const auto& [key, entry] : prefetch_.loaded) {
+  for (const auto& [key, entry] : prefetch_loaded_) {
     resident_.emplace(key, entry);  // Keep current-result entries as-is.
+  }
+
+  // Async pipeline: end-of-frame speculation toward the predicted next
+  // cell. Billing inside is diverted (frame counters and the clock do not
+  // move); the discovered page runs are staged for residency at the next
+  // BeginFrame and handed to the background queue to warm for real.
+  if (prefetcher_ != nullptr &&
+      prefetcher_->mode() == prefetch::PrefetchMode::kAsync) {
+    telemetry::StageTraceScope stage(telemetry::TraceStage::kPrefetch);
+    SearchOptions search = options_.search;
+    search.eta = options_.eta;
+    HDOV_RETURN_IF_ERROR(
+        prefetcher_->EndFrame(viewpoint, frame_cell, search));
   }
 
   telemetry::StageTraceScope render_stage(telemetry::TraceStage::kRender);
@@ -361,50 +460,7 @@ Status VisualSystem::RenderFrame(const Viewpoint& viewpoint,
   }
   if (TelemetryOn()) {
     frame_time_hist_->Observe(result->frame_time_ms);
-    EmitFrameRecord(*result, grid_->ClampedCellForPoint(viewpoint.position));
-  }
-  return Status::OK();
-}
-
-Status VisualSystem::RunPrefetch(const Viewpoint& viewpoint,
-                                 CellId current_cell, size_t* fetched) {
-  // Predict the next cell by stepping one cell diameter along the look
-  // direction.
-  const Vec3 cell_extent = grid_->CellBounds(current_cell).Extent();
-  const double stride = std::max(cell_extent.x, cell_extent.y);
-  Vec3 look_xy(viewpoint.look.x, viewpoint.look.y, 0.0);
-  look_xy = look_xy.Normalized();
-  const Vec3 probe = viewpoint.position + look_xy * stride;
-  const CellId ahead = grid_->ClampedCellForPoint(probe);
-  if (ahead == current_cell) {
-    return Status::OK();
-  }
-  if (prefetch_.cell != ahead) {
-    prefetch_.cell = ahead;
-    prefetch_.next = 0;
-    prefetch_.loaded.clear();
-    SearchOptions search = options_.search;
-    search.eta = options_.eta;
-    HDOV_RETURN_IF_ERROR(RunSearch(ahead, search, &prefetch_.pending,
-                                   nullptr));
-  }
-  size_t budget = options_.prefetch_models_per_frame;
-  while (budget > 0 && prefetch_.next < prefetch_.pending.size()) {
-    const RetrievedLod& lod = prefetch_.pending[prefetch_.next++];
-    const uint64_t key = ResidentKey(lod);
-    auto it = resident_.find(key);
-    if (it != resident_.end() && it->second.lod_level <= lod.lod_level) {
-      continue;  // Already resident at sufficient detail.
-    }
-    if (auto pf = prefetch_.loaded.find(key);
-        pf != prefetch_.loaded.end() && pf->second.lod_level <= lod.lod_level) {
-      continue;
-    }
-    HDOV_RETURN_IF_ERROR(models_->Fetch(lod.model));
-    prefetch_.loaded[key] =
-        ResidentEntry{lod.lod_level, lod.byte_size, lod.triangle_count};
-    ++*fetched;
-    --budget;
+    EmitFrameRecord(*result, frame_cell);
   }
   return Status::OK();
 }
@@ -412,7 +468,10 @@ Status VisualSystem::RunPrefetch(const Viewpoint& viewpoint,
 void VisualSystem::ResetRuntime() {
   resident_.clear();
   last_result_.clear();
-  prefetch_ = PrefetchState();
+  prefetch_loaded_.clear();
+  if (prefetcher_ != nullptr) {
+    prefetcher_->Reset();
+  }
   if (tree_cache_ != nullptr) {
     tree_cache_->Clear();
   }

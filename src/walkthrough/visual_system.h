@@ -15,6 +15,8 @@
 #include "hdov/flat_search.h"
 #include "hdov/search.h"
 #include "persist/snapshot.h"
+#include "prefetch/fetch_queue.h"
+#include "prefetch/prefetcher.h"
 #include "scene/cell_grid.h"
 #include "walkthrough/render_model.h"
 #include "walkthrough/walkthrough_system.h"
@@ -33,8 +35,28 @@ struct VisualOptions {
   // prefetching as well): during frames that fetch nothing, load up to
   // this many representations of the viewing cell ahead of the walker, so
   // crossing a cell border does not stall the frame. 0 (default) disables;
-  // the walkthrough experiments enable it.
+  // the walkthrough experiments enable it. Nonzero is the historical
+  // alias for `prefetch = kSync` below; the billing sequence of that
+  // combination is pinned by the committed walkthrough baselines.
   size_t prefetch_models_per_frame = 0;
+
+  // The prefetch pipeline mode (src/prefetch/, docs/prefetch.md). kOff
+  // (the seeded default unless HDOV_PREFETCH says otherwise) bills
+  // exactly as a build without the subsystem. kAsync runs the
+  // speculative end-of-frame pipeline with diverted billing + residency
+  // credit; kSync is the legacy inline path (see the alias above).
+  prefetch::PrefetchMode prefetch = prefetch::DefaultPrefetchMode();
+
+  // Async mode: model representations warmed per plan and background
+  // warm workers for the owned queue (ignored when an external queue is
+  // supplied).
+  size_t prefetch_max_models = 32;
+  size_t prefetch_workers = 2;
+
+  // Async mode: issue background warms into this (possibly shared) queue
+  // instead of an owned one. The queue must outlive the system; servers
+  // pass their per-process queue so sessions share workers.
+  prefetch::AsyncFetchQueue* prefetch_queue = nullptr;
 
   // LRU buffer pool (in pages) in front of the tree-node reads; hit pages
   // cost no simulated I/O. 0 (default) keeps the paper's uncached billing,
@@ -85,6 +107,10 @@ struct SharedWorldView {
   std::function<Result<std::unique_ptr<PageDevice>>(SessionDeviceRole,
                                                     SimClock* clock)>
       make_device;
+  // Optional: the shared page cache background prefetch warms for a role
+  // (servers hand out their ShardedBufferPools here). Null / returning
+  // null makes warms read the session device's raw path instead.
+  std::function<ShardedBufferPool*(SessionDeviceRole)> warm_pool;
 };
 
 // How CreateFromSnapshot materializes the snapshot's device sections.
@@ -165,6 +191,10 @@ class VisualSystem : public WalkthroughSystem {
                             TerminationHeuristic heuristic,
                             std::vector<RetrievedLod>* result);
 
+  // The prefetch pipeline driving this system (null when prefetch is
+  // off); benches read issued/used/wasted off its stats().
+  const prefetch::Prefetcher* prefetcher() const { return prefetcher_.get(); }
+
  private:
   VisualSystem(const Scene* scene, const CellGrid* grid,
                const VisualOptions& options);
@@ -230,20 +260,19 @@ class VisualSystem : public WalkthroughSystem {
            (lod.kind == RetrievedLod::Kind::kInternal ? (1ull << 63) : 0);
   }
 
-  // Prefetch pipeline for the predicted next cell.
-  struct PrefetchState {
-    CellId cell = kInvalidCell;
-    std::vector<RetrievedLod> pending;
-    size_t next = 0;
-    std::unordered_map<uint64_t, ResidentEntry> loaded;
-  };
-
-  Status RunPrefetch(const Viewpoint& viewpoint, CellId current_cell,
-                     size_t* fetched);
-
   std::unordered_map<uint64_t, ResidentEntry> resident_;
   std::vector<RetrievedLod> last_result_;
-  PrefetchState prefetch_;
+  // Sync-mode prefetch: representations loaded ahead of the cell flip,
+  // pinned into resident_ every frame (plan/cursor state lives in the
+  // prefetcher; this map is the legacy PrefetchState::loaded).
+  std::unordered_map<uint64_t, ResidentEntry> prefetch_loaded_;
+  // For session views: the shared warm-pool lookup from SharedWorldView.
+  std::function<ShardedBufferPool*(SessionDeviceRole)> warm_pool_;
+  // Declared after the devices and the queue on purpose: the prefetcher's
+  // destructor uninstalls the device residency gates and drains its warms
+  // out of the queue, so it must go first.
+  std::unique_ptr<prefetch::AsyncFetchQueue> own_queue_;
+  std::unique_ptr<prefetch::Prefetcher> prefetcher_;
 };
 
 }  // namespace hdov

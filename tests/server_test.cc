@@ -211,6 +211,45 @@ TEST_F(ServerTest, FlatBackendServesBitIdenticalToSoloAndLegacy) {
   }
 }
 
+TEST_F(ServerTest, AsyncPrefetchServesBitIdenticalToSolo) {
+  // With the async prefetch pipeline on, every session gets its own
+  // predictor/epoch over one server-wide warm queue. The pipeline only
+  // touches unbilled paths, and the speculative searches bill a private
+  // sink — so a served session must still bill exactly like solo async
+  // playback, worker interleaving and all.
+  const std::vector<Session> sessions = MakeSessions(3, 40);
+  ServerOptions opt = BaseOptions();
+  opt.visual.prefetch = prefetch::PrefetchMode::kAsync;
+
+  auto server = WalkthroughServer::Open(opt);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_NE((*server)->prefetch_queue(), nullptr);
+  for (const Session& s : sessions) {
+    ASSERT_TRUE((*server)->AddSession(s).ok());
+  }
+  auto stats = (*server)->Play();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->sessions.size(), sessions.size());
+  // The shared queue actually did work for the fleet — the equivalence
+  // below is not vacuous.
+  EXPECT_GT((*server)->prefetch_queue()->stats().requests_issued, 0u);
+
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    SCOPED_TRACE(sessions[i].name);
+    SessionSummary solo_summary;
+    IoStats solo_io;
+    double solo_ms = 0.0;
+    PlaySolo(sessions[i], opt.visual, &solo_summary, &solo_io, &solo_ms);
+
+    const ServerSessionRecord& served = stats->sessions[i];
+    ExpectSummariesIdentical(served.summary, solo_summary);
+    EXPECT_EQ(served.io.page_reads, solo_io.page_reads);
+    EXPECT_EQ(served.io.seeks, solo_io.seeks);
+    EXPECT_EQ(served.io.bytes_read, solo_io.bytes_read);
+    EXPECT_DOUBLE_EQ(served.sim_clock_ms, solo_ms);
+  }
+}
+
 TEST_F(ServerTest, SchedulingKnobsDoNotChangeBilling) {
   // Same fleet under four scheduler configurations: simulated counters
   // must be identical whether frames run inline, across workers, batched

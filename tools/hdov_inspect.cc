@@ -359,6 +359,12 @@ int InspectFlight(const InspectArgs& args) {
     uint64_t frames = 0;
     uint64_t io_pages = 0;
     uint64_t spans = 0;
+    // Async prefetch pipeline accounting (docs/prefetch.md). Issued =
+    // page reads billed during speculation (kPageRead stamped with the
+    // prefetch stage), used/cancelled from their dedicated event types.
+    uint64_t prefetch_issued = 0;
+    uint64_t prefetch_used = 0;
+    uint64_t prefetch_cancelled = 0;
   };
   std::map<std::string, SourceRollup> by_source;
   std::map<uint32_t, uint64_t> by_thread;
@@ -380,6 +386,16 @@ int InspectFlight(const InspectArgs& args) {
     switch (static_cast<telemetry::FlightEventType>(e.type)) {
       case telemetry::FlightEventType::kPageRead:
         sess.pages_read += e.b;
+        if (e.stage ==
+            static_cast<uint8_t>(telemetry::TraceStage::kPrefetch)) {
+          sess.prefetch_issued += e.b;
+        }
+        break;
+      case telemetry::FlightEventType::kPrefetchUsed:
+        sess.prefetch_used += e.b;
+        break;
+      case telemetry::FlightEventType::kPrefetchCancel:
+        sess.prefetch_cancelled += e.a;
         break;
       case telemetry::FlightEventType::kPoolHit:
         sess.pool_hits += 1;
@@ -402,6 +418,16 @@ int InspectFlight(const InspectArgs& args) {
     switch (static_cast<telemetry::FlightEventType>(e.type)) {
       case telemetry::FlightEventType::kPageRead:
         roll.pages_read += e.b;
+        if (e.stage ==
+            static_cast<uint8_t>(telemetry::TraceStage::kPrefetch)) {
+          roll.prefetch_issued += e.b;
+        }
+        break;
+      case telemetry::FlightEventType::kPrefetchUsed:
+        roll.prefetch_used += e.b;
+        break;
+      case telemetry::FlightEventType::kPrefetchCancel:
+        roll.prefetch_cancelled += e.a;
         break;
       case telemetry::FlightEventType::kPoolHit:
         roll.pool_hits += 1;
@@ -463,6 +489,35 @@ int InspectFlight(const InspectArgs& args) {
                 static_cast<unsigned long long>(roll.pool_misses),
                 static_cast<unsigned long long>(roll.frames),
                 static_cast<unsigned long long>(roll.io_pages));
+  }
+  bool any_prefetch = false;
+  for (const auto& [name, roll] : by_session) {
+    any_prefetch = any_prefetch || roll.prefetch_issued != 0 ||
+                   roll.prefetch_used != 0 || roll.prefetch_cancelled != 0;
+  }
+  if (any_prefetch) {
+    std::printf("per-session prefetch rollup (pages):\n");
+    std::printf("  %-24s %10s %10s %10s %8s\n", "session", "issued",
+                "used", "cancelled", "wasted");
+    for (const auto& [name, roll] : by_session) {
+      if (roll.prefetch_issued == 0 && roll.prefetch_used == 0 &&
+          roll.prefetch_cancelled == 0) {
+        continue;
+      }
+      const uint64_t used =
+          std::min(roll.prefetch_used, roll.prefetch_issued);
+      const double wasted =
+          roll.prefetch_issued > 0
+              ? static_cast<double>(roll.prefetch_issued - used) /
+                    static_cast<double>(roll.prefetch_issued)
+              : 0.0;
+      std::printf("  %-24s %10llu %10llu %10llu %8.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(roll.prefetch_issued),
+                  static_cast<unsigned long long>(roll.prefetch_used),
+                  static_cast<unsigned long long>(
+                      roll.prefetch_cancelled),
+                  wasted);
+    }
   }
   std::printf("events by stage:");
   for (size_t s = 0; s < telemetry::kNumTraceStages; ++s) {
@@ -532,8 +587,27 @@ int InspectSlowdump(const InspectArgs& args) {
     // The captured flight events of the frame's window, rolled up by
     // type (the full event list is in the Chrome trace conversion).
     std::map<uint16_t, uint64_t> by_type;
+    uint64_t prefetch_issued = 0;
+    uint64_t prefetch_used = 0;
+    uint64_t prefetch_cancelled = 0;
     for (const telemetry::FlightEvent& e : cap.events) {
       by_type[e.type] += 1;
+      switch (static_cast<telemetry::FlightEventType>(e.type)) {
+        case telemetry::FlightEventType::kPageRead:
+          if (e.stage ==
+              static_cast<uint8_t>(telemetry::TraceStage::kPrefetch)) {
+            prefetch_issued += e.b;
+          }
+          break;
+        case telemetry::FlightEventType::kPrefetchUsed:
+          prefetch_used += e.b;
+          break;
+        case telemetry::FlightEventType::kPrefetchCancel:
+          prefetch_cancelled += e.a;
+          break;
+        default:
+          break;
+      }
     }
     std::printf("\n  %zu flight events in window:", cap.events.size());
     for (const auto& [type, count] : by_type) {
@@ -545,6 +619,14 @@ int InspectSlowdump(const InspectArgs& args) {
                   static_cast<unsigned long long>(count));
     }
     std::printf("\n");
+    if (prefetch_issued != 0 || prefetch_used != 0 ||
+        prefetch_cancelled != 0) {
+      std::printf("  prefetch in window: issued=%llu used=%llu"
+                  " cancelled=%llu pages\n",
+                  static_cast<unsigned long long>(prefetch_issued),
+                  static_cast<unsigned long long>(prefetch_used),
+                  static_cast<unsigned long long>(prefetch_cancelled));
+    }
   }
 
   // --chrome-out belongs to --flight when both inputs are given.
